@@ -1,0 +1,58 @@
+// Ablation F: the LP baseline in isolation — dense-tableau simplex on the
+// assignment polytope (the GLPK substitute). Quantifies why the LP curve in
+// Figure 12 is capped: cost grows superlinearly with both tableau area and
+// iteration count. Counters report simplex iterations per solve.
+
+#include <benchmark/benchmark.h>
+
+#include "core/winner_determination.h"
+#include "lp/assignment_lp.h"
+#include "lp/simplex.h"
+#include "test_util_bench.h"
+
+namespace ssa {
+namespace {
+
+void BM_AssignmentLpSimplex(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = 15;
+  Rng rng(3);
+  const RevenueMatrix m = bench_util::RandomRevenue(n, k, rng);
+  const std::vector<double> w = MarginalWeights(m);
+  int64_t iterations = 0;
+  int64_t solves = 0;
+  for (auto _ : state) {
+    const LpProblem lp = BuildAssignmentLp(w, n, k);
+    auto sol = SolveLpMax(lp);
+    benchmark::DoNotOptimize(sol);
+    iterations += sol.ok() ? sol->iterations : 0;
+    ++solves;
+  }
+  state.counters["simplex_iters"] =
+      benchmark::Counter(static_cast<double>(iterations) / solves);
+}
+BENCHMARK(BM_AssignmentLpSimplex)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_JvSameInstance(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = 15;
+  Rng rng(3);
+  const RevenueMatrix m = bench_util::RandomRevenue(n, k, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DetermineWinners(m, WdMethod::kReducedHungarian));
+  }
+}
+BENCHMARK(BM_JvSameInstance)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ssa

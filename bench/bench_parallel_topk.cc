@@ -1,0 +1,63 @@
+// Ablation D: the Section III-E tree-aggregation network. Sweeps the number
+// of leaf blocks (machines) and reports both wall time on a thread pool and
+// the modeled critical path ((n/p) k log k leaf work + k log p merge
+// levels).
+
+#include <benchmark/benchmark.h>
+
+#include "core/parallel_topk.h"
+#include "test_util_bench.h"
+#include "util/thread_pool.h"
+
+namespace ssa {
+namespace {
+
+constexpr int kSlots = 15;
+constexpr int kAdvertisers = 100000;
+
+const RevenueMatrix& SharedMatrix() {
+  static const RevenueMatrix* matrix = [] {
+    Rng rng(7);
+    return new RevenueMatrix(
+        bench_util::RandomRevenue(kAdvertisers, kSlots, rng));
+  }();
+  return *matrix;
+}
+
+void BM_TreeTopKSerial(benchmark::State& state) {
+  const int blocks = static_cast<int>(state.range(0));
+  double critical = 0;
+  int64_t runs = 0;
+  for (auto _ : state) {
+    const TreeAggregationResult r = TreeTopKAggregate(SharedMatrix(), blocks);
+    benchmark::DoNotOptimize(r.candidates.size());
+    critical += r.critical_path_ms;
+    ++runs;
+  }
+  state.counters["critical_path_ms"] =
+      benchmark::Counter(critical / static_cast<double>(runs));
+}
+BENCHMARK(BM_TreeTopKSerial)->RangeMultiplier(2)->Range(1, 64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TreeTopKPooled(benchmark::State& state) {
+  const int blocks = static_cast<int>(state.range(0));
+  static ThreadPool* pool = new ThreadPool(
+      std::max(2u, std::thread::hardware_concurrency()));
+  double critical = 0;
+  int64_t runs = 0;
+  for (auto _ : state) {
+    const TreeAggregationResult r =
+        TreeTopKAggregate(SharedMatrix(), blocks, pool);
+    benchmark::DoNotOptimize(r.candidates.size());
+    critical += r.critical_path_ms;
+    ++runs;
+  }
+  state.counters["critical_path_ms"] =
+      benchmark::Counter(critical / static_cast<double>(runs));
+}
+BENCHMARK(BM_TreeTopKPooled)->RangeMultiplier(2)->Range(1, 64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ssa

@@ -1,0 +1,100 @@
+// Ablation G: bidding-program evaluation cost — native C++ RoiStrategy
+// versus the interpreted Figure 5 program (Section II-B language). The
+// interpreter's per-auction cost motivates both Section IV (evaluate fewer
+// programs) and compiling hot strategies natively.
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "strategy/program_strategy.h"
+#include "strategy/roi_strategy.h"
+#include "util/rng.h"
+
+namespace ssa {
+namespace {
+
+constexpr const char kEqualizeRoi[] = R"sql(
+CREATE TRIGGER bid AFTER INSERT ON Query
+{
+  IF amtSpent < targetSpendRate * time THEN
+    UPDATE Keywords SET bid = bid + 1
+    WHERE roi = ( SELECT MAX( K.roi ) FROM Keywords K )
+      AND relevance > 0 AND bid < maxbid;
+  ELSEIF amtSpent > targetSpendRate * time THEN
+    UPDATE Keywords SET bid = bid - 1
+    WHERE roi = ( SELECT MIN( K.roi ) FROM Keywords K )
+      AND relevance > 0 AND bid > 0;
+  ENDIF;
+  UPDATE Bids SET value =
+    ( SELECT SUM( K.bid ) FROM Keywords K
+      WHERE K.relevance > 0.7 AND K.formula = Bids.formula );
+}
+)sql";
+
+constexpr int kKeywords = 10;
+
+AdvertiserAccount MakeAccount(Rng& rng) {
+  AdvertiserAccount a;
+  a.value_per_click.resize(kKeywords);
+  for (auto& v : a.value_per_click) {
+    v = static_cast<Money>(rng.UniformInt(1, 50));
+  }
+  a.max_bid = a.value_per_click;
+  a.value_gained.assign(kKeywords, 0.0);
+  a.spent_per_keyword.assign(kKeywords, 0.0);
+  a.target_spend_rate = rng.Uniform(1.0, 50.0);
+  return a;
+}
+
+Query MakeQuery(Rng& rng, int64_t time) {
+  Query q;
+  q.keyword = static_cast<int>(rng.NextBounded(kKeywords));
+  q.time = time;
+  q.relevance.assign(kKeywords, 0.0);
+  q.relevance[q.keyword] = 1.0;
+  return q;
+}
+
+void BM_NativeRoiStrategy(benchmark::State& state) {
+  Rng rng(1);
+  AdvertiserAccount account = MakeAccount(rng);
+  RoiStrategy strategy(std::vector<Formula>(kKeywords, Formula::Click()));
+  BidsTable bids;
+  int64_t t = 0;
+  for (auto _ : state) {
+    bids.Clear();
+    strategy.MakeBids(MakeQuery(rng, ++t), account, &bids);
+    benchmark::DoNotOptimize(bids);
+  }
+}
+BENCHMARK(BM_NativeRoiStrategy);
+
+void BM_InterpretedRoiProgram(benchmark::State& state) {
+  Rng rng(1);
+  AdvertiserAccount account = MakeAccount(rng);
+  std::vector<ProgramStrategy::KeywordSpec> specs;
+  for (int kw = 0; kw < kKeywords; ++kw) {
+    specs.push_back({"kw" + std::to_string(kw), Formula::Click()});
+  }
+  auto strategy = ProgramStrategy::Create(kEqualizeRoi, specs);
+  SSA_CHECK(strategy.ok());
+  BidsTable bids;
+  int64_t t = 0;
+  for (auto _ : state) {
+    bids.Clear();
+    (*strategy)->MakeBids(MakeQuery(rng, ++t), account, &bids);
+    benchmark::DoNotOptimize(bids);
+  }
+}
+BENCHMARK(BM_InterpretedRoiProgram);
+
+void BM_ProgramParseOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lang::ParseProgram(kEqualizeRoi));
+  }
+}
+BENCHMARK(BM_ProgramParseOnly);
+
+}  // namespace
+}  // namespace ssa

@@ -1,0 +1,28 @@
+#ifndef SSA_BENCH_TEST_UTIL_BENCH_H_
+#define SSA_BENCH_TEST_UTIL_BENCH_H_
+
+#include "core/expected_revenue.h"
+#include "util/rng.h"
+
+namespace ssa {
+namespace bench_util {
+
+/// Random revenue matrix shaped like the Section V workload: weights are
+/// ctr (slot-interval distributed) times an integral bid U{0..50}.
+inline RevenueMatrix RandomRevenue(int n, int k, Rng& rng) {
+  RevenueMatrix m(n, k);
+  const double width = 0.8 / k;
+  for (int i = 0; i < n; ++i) {
+    const double bid = static_cast<double>(rng.UniformInt(0, 50));
+    for (int j = 0; j < k; ++j) {
+      const double lo = 0.9 - width * (j + 1);
+      m.Set(i, j, rng.Uniform(lo, lo + width) * bid);
+    }
+  }
+  return m;
+}
+
+}  // namespace bench_util
+}  // namespace ssa
+
+#endif  // SSA_BENCH_TEST_UTIL_BENCH_H_

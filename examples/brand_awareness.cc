@@ -1,0 +1,81 @@
+// Brand awareness: what multi-feature bidding buys (Section I-A).
+//
+// Two advertisers from the paper's motivation:
+//   * a *leader* who wants the top slot or nothing (being seen mid-page
+//     would dilute the "market leader" image), and
+//   * a *brand builder* who wants top-or-bottom but not the middle.
+// Plus ordinary click bidders. A single-feature (click-only) auction cannot
+// express either preference; this example quantifies the advertiser value
+// and provider revenue left on the table by the single-feature restriction.
+
+#include <cstdio>
+
+#include "core/expected_revenue.h"
+#include "core/winner_determination.h"
+#include "util/rng.h"
+
+using namespace ssa;
+
+int main() {
+  constexpr int kSlots = 5;
+  constexpr int kAdvertisers = 12;
+  Rng rng(2024);
+  MatrixClickModel model =
+      MakeSlotIntervalClickModel(kAdvertisers, kSlots, rng);
+
+  // Everyone values clicks; two advertisers also have positional goals.
+  std::vector<Money> click_value(kAdvertisers);
+  for (auto& v : click_value) v = static_cast<Money>(rng.UniformInt(5, 40));
+
+  auto not_displayed = !Formula::AnySlot({0, 1, 2, 3, 4});
+
+  std::vector<BidsTable> expressive(kAdvertisers);
+  for (int i = 0; i < kAdvertisers; ++i) {
+    expressive[i].AddBid(Formula::Click(), click_value[i]);
+  }
+  // Advertiser 0 — the leader: 25 cents for "top slot or not shown at all".
+  expressive[0].AddBid(Formula::Slot(0) || not_displayed, 25);
+  // Advertiser 1 — the brand builder: 15 cents for top-or-bottom placement.
+  expressive[1].AddBid(Formula::Slot(0) || Formula::Slot(kSlots - 1), 15);
+
+  // The click-only restriction: positional rows are simply not expressible.
+  std::vector<BidsTable> restricted(kAdvertisers);
+  for (int i = 0; i < kAdvertisers; ++i) {
+    restricted[i].AddBid(Formula::Click(), click_value[i]);
+  }
+
+  const RevenueMatrix rev_expr = BuildRevenueMatrix(expressive, model);
+  const RevenueMatrix rev_restr = BuildRevenueMatrix(restricted, model);
+  const WdResult full = DetermineWinners(rev_expr, WdMethod::kReducedHungarian);
+  const WdResult single =
+      DetermineWinners(rev_restr, WdMethod::kReducedHungarian);
+
+  auto describe = [&](const char* label, const WdResult& r) {
+    std::printf("%s: expected revenue %.2f\n", label, r.expected_revenue);
+    for (int j = 0; j < kSlots; ++j) {
+      const AdvertiserId i = r.allocation.slot_to_advertiser[j];
+      if (i >= 0) std::printf("  slot %d -> advertiser %d\n", j + 1, i);
+    }
+    std::printf("  leader (adv 0) slot: %d   brand (adv 1) slot: %d\n",
+                r.allocation.advertiser_to_slot[0] + 1,
+                r.allocation.advertiser_to_slot[1] + 1);
+  };
+  describe("Multi-feature auction", full);
+  describe("\nClick-only auction  ", single);
+
+  // How much was the positional preference worth?
+  std::printf("\nProvider revenue gain from expressiveness: %.2f cents "
+              "(%.1f%%)\n",
+              full.expected_revenue - single.expected_revenue,
+              100.0 * (full.expected_revenue / single.expected_revenue - 1.0));
+
+  // Advertiser-side: under the click-only allocation, does the leader end up
+  // in a slot it explicitly does not want?
+  const SlotIndex leader_slot = single.allocation.advertiser_to_slot[0];
+  if (leader_slot != kNoSlot && leader_slot != 0) {
+    std::printf("Leader was placed in slot %d under the restricted auction — "
+                "a position it values at 0 (vs 25 for top-or-nothing).\n",
+                leader_slot + 1);
+  }
+  return 0;
+}

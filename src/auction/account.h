@@ -1,0 +1,52 @@
+#ifndef SSA_AUCTION_ACCOUNT_H_
+#define SSA_AUCTION_ACCOUNT_H_
+
+#include <vector>
+
+#include "util/common.h"
+
+namespace ssa {
+
+/// Per-advertiser account state the search provider maintains automatically
+/// for every bidding program (Section II-B): amount spent, per-keyword value
+/// gained and spend, and the derived return on investment. Bidding
+/// strategies read this; only the engine writes it (on clicks/charges).
+struct AdvertiserAccount {
+  /// Total amount charged to this advertiser so far.
+  Money amount_spent = 0;
+  /// Desired spend per auction ("target spending rate", Section II-C).
+  double target_spend_rate = 0;
+
+  /// The advertiser's private value of one click per keyword (the Section V
+  /// workload draws these U{0..50}); doubles as the ROI "value gained" unit.
+  std::vector<Money> value_per_click;
+  /// Cap on the tentative bid per keyword (`maxbid` in Figure 4); the
+  /// Section V workload sets it to the click value.
+  std::vector<Money> max_bid;
+  /// Total value realized from each keyword (clicks * value_per_click).
+  std::vector<Money> value_gained;
+  /// Amount charged attributable to each keyword.
+  std::vector<Money> spent_per_keyword;
+
+  /// Return on investment of a keyword: value gained / amount spent on it
+  /// (Section II-C); zero before any spend.
+  double Roi(int keyword) const {
+    const Money spent = spent_per_keyword[keyword];
+    return spent > 0 ? value_gained[keyword] / spent : 0.0;
+  }
+
+  int num_keywords() const { return static_cast<int>(value_per_click.size()); }
+
+  /// True iff current spend is strictly below the target at auction `time`.
+  bool Underspending(int64_t time) const {
+    return amount_spent < target_spend_rate * static_cast<double>(time);
+  }
+  /// True iff current spend is strictly above the target at auction `time`.
+  bool Overspending(int64_t time) const {
+    return amount_spent > target_spend_rate * static_cast<double>(time);
+  }
+};
+
+}  // namespace ssa
+
+#endif  // SSA_AUCTION_ACCOUNT_H_

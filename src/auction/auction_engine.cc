@@ -1,0 +1,102 @@
+#include "auction/auction_engine.h"
+
+#include <utility>
+
+#include "util/timer.h"
+
+namespace ssa {
+
+AuctionEngine::AuctionEngine(
+    const EngineConfig& config, Workload workload,
+    std::vector<std::unique_ptr<BiddingStrategy>> strategies)
+    : config_(config),
+      workload_(std::move(workload)),
+      strategies_(std::move(strategies)),
+      query_gen_(workload_.config.num_keywords, config.seed),
+      user_rng_(config.seed ^ 0x5eed0f0e125eedULL) {
+  SSA_CHECK(strategies_.size() == workload_.accounts.size());
+  bids_.resize(strategies_.size());
+}
+
+const AuctionOutcome& AuctionEngine::RunAuction() {
+  const int n = static_cast<int>(strategies_.size());
+  const int k = workload_.config.num_slots;
+  const ClickModel& model = *workload_.click_model;
+  outcome_ = AuctionOutcome{};
+  outcome_.query = query_gen_.Next();
+  ++auctions_run_;
+
+  // --- Step 3: program evaluation (every program, eagerly).
+  WallTimer timer;
+  for (AdvertiserId i = 0; i < n; ++i) {
+    bids_[i].Clear();
+    strategies_[i]->MakeBids(outcome_.query, workload_.accounts[i], &bids_[i]);
+  }
+  outcome_.program_eval_ms = timer.ElapsedMillis();
+
+  // --- Expected-revenue matrix (Theorem 2 construction).
+  timer.Reset();
+  const RevenueMatrix revenue = BuildRevenueMatrix(bids_, model);
+  outcome_.matrix_ms = timer.ElapsedMillis();
+
+  // --- Step 4: winner determination.
+  timer.Reset();
+  outcome_.wd = DetermineWinners(revenue, config_.wd_method);
+  outcome_.wd_ms = timer.ElapsedMillis();
+
+  // --- Step 6 prep: prices.
+  timer.Reset();
+  std::vector<Money> prices;
+  if (config_.pricing == PricingRule::kVcg) {
+    prices = VcgExpectedCharges(revenue, outcome_.wd.allocation);
+  } else {
+    prices =
+        PerClickPrices(config_.pricing, revenue, model, outcome_.wd.allocation);
+  }
+  outcome_.pricing_ms = timer.ElapsedMillis();
+
+  // --- Step 5: user action simulation, then charging and accounting.
+  const int kw = outcome_.query.keyword;
+  for (SlotIndex j = 0; j < k; ++j) {
+    const AdvertiserId i = outcome_.wd.allocation.slot_to_advertiser[j];
+    if (i < 0) continue;
+    UserEvent event;
+    event.advertiser = i;
+    event.slot = j;
+    event.clicked = user_rng_.Bernoulli(model.ClickProbability(i, j));
+    const double ppc = model.PurchaseProbabilityGivenClick(i, j);
+    if (event.clicked && ppc > 0.0) {
+      event.purchased = user_rng_.Bernoulli(ppc);
+    }
+    AdvertiserAccount& account = workload_.accounts[i];
+    if (config_.pricing == PricingRule::kVcg) {
+      // Expected lump charge, independent of the realized click.
+      event.charged = prices[j];
+    } else if (event.clicked) {
+      event.charged = prices[j];
+    }
+    if (event.clicked) {
+      // The provider updates ROI inputs "each time a user searches for the
+      // keyword and then clicks on the advertiser's ad".
+      account.value_gained[kw] += account.value_per_click[kw];
+    }
+    if (event.charged > 0) {
+      account.amount_spent += event.charged;
+      account.spent_per_keyword[kw] += event.charged;
+    }
+    outcome_.revenue_charged += event.charged;
+    outcome_.events.push_back(event);
+  }
+  total_revenue_ += outcome_.revenue_charged;
+
+  // Outcome notifications: programs that received a slot learn about it
+  // (and about clicks/purchases) — the Section II-B notification triggers.
+  for (const UserEvent& event : outcome_.events) {
+    strategies_[event.advertiser]->OnOutcome(
+        outcome_.query, workload_.accounts[event.advertiser], event.slot,
+        event.clicked, event.purchased);
+  }
+  return outcome_;
+}
+
+}  // namespace ssa

@@ -1,0 +1,94 @@
+#ifndef SSA_AUCTION_AUCTION_ENGINE_H_
+#define SSA_AUCTION_AUCTION_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "auction/pricing.h"
+#include "auction/query_gen.h"
+#include "auction/workload.h"
+#include "core/winner_determination.h"
+#include "strategy/strategy.h"
+#include "util/common.h"
+
+namespace ssa {
+
+/// What happened to one filled slot after the page was served.
+struct UserEvent {
+  AdvertiserId advertiser = -1;
+  SlotIndex slot = kNoSlot;
+  bool clicked = false;
+  bool purchased = false;
+  /// Amount actually charged for this event (per-click price on click, or
+  /// the expected VCG lump charge).
+  Money charged = 0;
+};
+
+/// Full record of one auction, including the per-phase timings the Figure
+/// 12/13 harnesses aggregate.
+struct AuctionOutcome {
+  Query query;
+  WdResult wd;
+  std::vector<UserEvent> events;  // one per filled slot, in slot order
+  Money revenue_charged = 0;
+
+  double program_eval_ms = 0;  // Step 3: running the bidding programs
+  double matrix_ms = 0;        // building the expected-revenue matrix
+  double wd_ms = 0;            // Step 4 proper: the matching / LP
+  double pricing_ms = 0;       // Step 6
+  /// Provider-side processing time per auction (the quantity Figures 12/13
+  /// plot): program evaluation + matrix + winner determination + pricing.
+  double ProcessingMs() const {
+    return program_eval_ms + matrix_ms + wd_ms + pricing_ms;
+  }
+};
+
+/// Engine configuration: which winner-determination method runs (LP, H, RH)
+/// and which pricing rule charges the winners.
+struct EngineConfig {
+  WdMethod wd_method = WdMethod::kReducedHungarian;
+  PricingRule pricing = PricingRule::kGeneralizedSecondPrice;
+  /// Seed for the query stream and user-behavior simulation (independent of
+  /// the workload seed so populations and traffic vary separately).
+  uint64_t seed = 42;
+};
+
+/// The eager auction engine: every advertiser's bidding program runs on
+/// every auction (the baseline Section IV improves on). One RunAuction()
+/// performs the full lifecycle — user search, program evaluation, winner
+/// determination, user action simulation, pricing and accounting.
+///
+/// The RHTALU engine (strategy/logical_roi.h) implements the same lifecycle
+/// with the Threshold Algorithm + logical updates and is observably
+/// equivalent given equal seeds.
+class AuctionEngine {
+ public:
+  AuctionEngine(const EngineConfig& config, Workload workload,
+                std::vector<std::unique_ptr<BiddingStrategy>> strategies);
+
+  /// Runs one complete auction and returns its record.
+  const AuctionOutcome& RunAuction();
+
+  const std::vector<AdvertiserAccount>& accounts() const {
+    return workload_.accounts;
+  }
+  const Workload& workload() const { return workload_; }
+  const AuctionOutcome& last_outcome() const { return outcome_; }
+  int64_t auctions_run() const { return auctions_run_; }
+  Money total_revenue() const { return total_revenue_; }
+
+ private:
+  EngineConfig config_;
+  Workload workload_;
+  std::vector<std::unique_ptr<BiddingStrategy>> strategies_;
+  QueryGenerator query_gen_;
+  Rng user_rng_;
+  std::vector<BidsTable> bids_;  // reused across auctions
+  AuctionOutcome outcome_;
+  int64_t auctions_run_ = 0;
+  Money total_revenue_ = 0;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_AUCTION_AUCTION_ENGINE_H_

@@ -1,0 +1,69 @@
+#include "auction/metrics.h"
+
+#include <cstdio>
+
+namespace ssa {
+
+void CampaignMetrics::Record(const AuctionOutcome& outcome) {
+  ++auctions_;
+  revenue_ += outcome.revenue_charged;
+  processing_ms_.Add(outcome.ProcessingMs());
+  for (const UserEvent& event : outcome.events) {
+    ++impressions_;
+    if (static_cast<size_t>(event.slot) >= slot_impressions_.size()) {
+      slot_impressions_.resize(event.slot + 1, 0);
+      slot_clicks_.resize(event.slot + 1, 0);
+    }
+    ++slot_impressions_[event.slot];
+    if (event.clicked) {
+      ++clicks_;
+      ++slot_clicks_[event.slot];
+    }
+    if (event.purchased) ++purchases_;
+  }
+}
+
+double CampaignMetrics::ClickThroughRate() const {
+  return impressions_ == 0
+             ? 0.0
+             : static_cast<double>(clicks_) / static_cast<double>(impressions_);
+}
+
+Money CampaignMetrics::RevenuePerAuction() const {
+  return auctions_ == 0 ? 0.0 : revenue_ / static_cast<double>(auctions_);
+}
+
+double CampaignMetrics::FillRate(int num_slots) const {
+  const double total = static_cast<double>(auctions_) * num_slots;
+  return total == 0 ? 0.0 : static_cast<double>(impressions_) / total;
+}
+
+std::string CampaignMetrics::Report(int num_slots) const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "auctions %lld, revenue %.1f (%.2f/auction), CTR %.3f, "
+                "fill %.3f\n",
+                static_cast<long long>(auctions_), revenue_,
+                RevenuePerAuction(), ClickThroughRate(), FillRate(num_slots));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "processing ms: mean %.3f p50 %.3f p99 %.3f max %.3f\n",
+                processing_ms_.mean(), processing_ms_.Percentile(50),
+                processing_ms_.Percentile(99), processing_ms_.max());
+  out += buf;
+  for (size_t j = 0; j < slot_impressions_.size(); ++j) {
+    std::snprintf(buf, sizeof(buf),
+                  "  slot %zu: %lld impressions, %lld clicks (ctr %.3f)\n",
+                  j + 1, static_cast<long long>(slot_impressions_[j]),
+                  static_cast<long long>(slot_clicks_[j]),
+                  slot_impressions_[j] == 0
+                      ? 0.0
+                      : static_cast<double>(slot_clicks_[j]) /
+                            static_cast<double>(slot_impressions_[j]));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ssa

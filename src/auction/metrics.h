@@ -1,0 +1,60 @@
+#ifndef SSA_AUCTION_METRICS_H_
+#define SSA_AUCTION_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "auction/auction_engine.h"
+#include "util/stats.h"
+
+namespace ssa {
+
+/// Campaign-level analytics accumulated from per-auction outcomes: revenue,
+/// fill rates, click-through by slot, and processing-time distributions —
+/// the provider-side dashboard the benchmark harnesses and examples report
+/// from.
+class CampaignMetrics {
+ public:
+  /// Folds one auction's outcome into the aggregates.
+  void Record(const AuctionOutcome& outcome);
+
+  int64_t auctions() const { return auctions_; }
+  int64_t impressions() const { return impressions_; }
+  int64_t clicks() const { return clicks_; }
+  int64_t purchases() const { return purchases_; }
+  Money revenue() const { return revenue_; }
+
+  /// Realized click-through rate over all impressions.
+  double ClickThroughRate() const;
+  /// Average charged revenue per auction.
+  Money RevenuePerAuction() const;
+  /// Fraction of slot-auction pairs that were filled.
+  double FillRate(int num_slots) const;
+
+  /// Per-slot impression / click counts (index = slot).
+  const std::vector<int64_t>& slot_impressions() const {
+    return slot_impressions_;
+  }
+  const std::vector<int64_t>& slot_clicks() const { return slot_clicks_; }
+
+  /// Processing-time distribution (ms) across recorded auctions.
+  const SummaryStats& processing_ms() const { return processing_ms_; }
+
+  /// Multi-line human-readable summary.
+  std::string Report(int num_slots) const;
+
+ private:
+  int64_t auctions_ = 0;
+  int64_t impressions_ = 0;
+  int64_t clicks_ = 0;
+  int64_t purchases_ = 0;
+  Money revenue_ = 0;
+  std::vector<int64_t> slot_impressions_;
+  std::vector<int64_t> slot_clicks_;
+  SummaryStats processing_ms_;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_AUCTION_METRICS_H_

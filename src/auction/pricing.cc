@@ -1,0 +1,88 @@
+#include "auction/pricing.h"
+
+#include <algorithm>
+
+#include "core/winner_determination.h"
+#include "matching/hungarian.h"
+
+namespace ssa {
+
+std::string PricingRuleName(PricingRule rule) {
+  switch (rule) {
+    case PricingRule::kPayYourBid:
+      return "pay-your-bid";
+    case PricingRule::kGeneralizedSecondPrice:
+      return "generalized-second-price";
+    case PricingRule::kVcg:
+      return "vcg";
+  }
+  return "?";
+}
+
+std::vector<Money> PerClickPrices(PricingRule rule,
+                                  const RevenueMatrix& revenue,
+                                  const ClickModel& model,
+                                  const Allocation& allocation) {
+  const int n = revenue.num_advertisers();
+  const int k = revenue.num_slots();
+  SSA_CHECK(allocation.num_slots() == k);
+  SSA_CHECK(rule != PricingRule::kVcg);  // VCG uses VcgExpectedCharges
+
+  std::vector<char> is_winner(n, 0);
+  for (AdvertiserId a : allocation.slot_to_advertiser) {
+    if (a >= 0) is_winner[a] = 1;
+  }
+
+  std::vector<Money> prices(k, 0.0);
+  for (SlotIndex j = 0; j < k; ++j) {
+    const AdvertiserId i = allocation.slot_to_advertiser[j];
+    if (i < 0) continue;
+    const double ctr = model.ClickProbability(i, j);
+    if (ctr <= 0.0) continue;  // never clicked, never charged
+    const double own_bid = revenue.MarginalWeight(i, j) / ctr;
+    if (rule == PricingRule::kPayYourBid) {
+      prices[j] = std::max(0.0, own_bid);
+      continue;
+    }
+    // GSP: expected revenue of the best advertiser who received no slot.
+    double r_next = 0.0;
+    for (AdvertiserId other = 0; other < n; ++other) {
+      if (is_winner[other]) continue;
+      r_next = std::max(r_next, revenue.MarginalWeight(other, j));
+    }
+    prices[j] = std::max(0.0, std::min(own_bid, r_next / ctr));
+  }
+  return prices;
+}
+
+std::vector<Money> VcgExpectedCharges(const RevenueMatrix& revenue,
+                                      const Allocation& allocation) {
+  const int n = revenue.num_advertisers();
+  const int k = revenue.num_slots();
+  const std::vector<double> w = MarginalWeights(revenue);
+
+  // Candidate pool large enough that dropping any single winner leaves the
+  // unconstrained optimum reachable: top (k+1) per slot always contains an
+  // optimal matching avoiding any one advertiser.
+  std::vector<AdvertiserId> pool = SelectTopPerSlotCandidates(revenue, k + 1);
+
+  std::vector<Money> charges(k, 0.0);
+  for (SlotIndex j = 0; j < k; ++j) {
+    const AdvertiserId i = allocation.slot_to_advertiser[j];
+    if (i < 0) continue;
+    // Others' optimal welfare with i absent.
+    std::vector<AdvertiserId> without;
+    without.reserve(pool.size());
+    for (AdvertiserId c : pool) {
+      if (c != i) without.push_back(c);
+    }
+    const Allocation alt = MaxWeightMatchingSubset(w, n, k, without);
+    // Others' welfare under the chosen allocation (excluding i's edge).
+    const double others_now =
+        allocation.total_weight - revenue.MarginalWeight(i, j);
+    charges[j] = std::max(0.0, alt.total_weight - others_now);
+  }
+  return charges;
+}
+
+}  // namespace ssa

@@ -1,0 +1,47 @@
+#include "auction/workload.h"
+
+#include <algorithm>
+
+namespace ssa {
+
+Workload MakePaperWorkload(const WorkloadConfig& config) {
+  SSA_CHECK(config.num_advertisers >= 0 && config.num_slots >= 1 &&
+            config.num_keywords >= 1);
+  SSA_CHECK(config.value_lo >= 0 && config.value_lo <= config.value_hi);
+  Rng rng(config.seed);
+
+  Workload w;
+  w.config = config;
+  w.accounts.reserve(config.num_advertisers);
+  for (int i = 0; i < config.num_advertisers; ++i) {
+    AdvertiserAccount account;
+    account.value_per_click.resize(config.num_keywords);
+    Money max_value = 0;
+    do {
+      max_value = 0;
+      for (int kw = 0; kw < config.num_keywords; ++kw) {
+        account.value_per_click[kw] = static_cast<Money>(
+            rng.UniformInt(config.value_lo, config.value_hi));
+        max_value = std::max(max_value, account.value_per_click[kw]);
+      }
+      // "subject to each bidder having at least one non-zero click value"
+    } while (max_value <= 0);
+    account.max_bid = account.value_per_click;
+    account.value_gained.assign(config.num_keywords, 0.0);
+    account.spent_per_keyword.assign(config.num_keywords, 0.0);
+    // "target spending rates chosen uniformly at random between 1 and the
+    // bidder's maximum value over all keywords"
+    account.target_spend_rate =
+        max_value > 1 ? rng.Uniform(1.0, static_cast<double>(max_value)) : 1.0;
+    w.accounts.push_back(std::move(account));
+  }
+
+  w.click_model = std::make_shared<MatrixClickModel>(MakeSlotIntervalClickModel(
+      config.num_advertisers, config.num_slots, rng, config.click_interval_lo,
+      config.click_interval_hi, config.purchase_given_click));
+
+  w.keyword_formulas.assign(config.num_keywords, Formula::Click());
+  return w;
+}
+
+}  // namespace ssa

@@ -1,0 +1,50 @@
+#ifndef SSA_AUCTION_WORKLOAD_H_
+#define SSA_AUCTION_WORKLOAD_H_
+
+#include <memory>
+#include <vector>
+
+#include "auction/account.h"
+#include "core/click_model.h"
+#include "core/formula.h"
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace ssa {
+
+/// Parameters of the Section V synthetic workload (the substitute for the
+/// proprietary bid feeds the paper could not publish):
+///   * 15 slots, 10 keywords, one keyword per query chosen uniformly;
+///   * per-keyword click values U{0..50} cents, at least one non-zero;
+///   * max bid = click value; target spend rate U(1, max click value);
+///   * click probabilities from the slot-interval model on [0.1, 0.9].
+struct WorkloadConfig {
+  int num_advertisers = 1000;
+  int num_slots = 15;
+  int num_keywords = 10;
+  int value_lo = 0;
+  int value_hi = 50;
+  double click_interval_lo = 0.1;
+  double click_interval_hi = 0.9;
+  double purchase_given_click = 0.0;
+  uint64_t seed = 1;
+};
+
+/// A fully-instantiated population: accounts (values, caps, target rates)
+/// plus the provider's click-probability estimates.
+struct Workload {
+  WorkloadConfig config;
+  std::vector<AdvertiserAccount> accounts;
+  std::shared_ptr<const MatrixClickModel> click_model;
+  /// Formula each keyword's bid attaches to; the Section V experiments use
+  /// plain Click for every keyword, examples override with multi-feature
+  /// formulas.
+  std::vector<Formula> keyword_formulas;
+};
+
+/// Builds the Section V workload deterministically from config.seed.
+Workload MakePaperWorkload(const WorkloadConfig& config);
+
+}  // namespace ssa
+
+#endif  // SSA_AUCTION_WORKLOAD_H_

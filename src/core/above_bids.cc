@@ -1,0 +1,116 @@
+#include "core/above_bids.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssa {
+
+double AboveBidsRevenue(const std::vector<AdvertiserId>& slot_to_advertiser,
+                        int n, const std::vector<AboveBid>& bids) {
+  // position[i] = slot of advertiser i, or large if unassigned (an
+  // unassigned rival counts as "below" per the event definition; an
+  // unassigned bidder never pays).
+  const int k = static_cast<int>(slot_to_advertiser.size());
+  std::vector<int> position(n, k + 1);
+  for (int j = 0; j < k; ++j) {
+    const AdvertiserId a = slot_to_advertiser[j];
+    if (a >= 0) {
+      SSA_CHECK(a < n);
+      position[a] = j;
+    }
+  }
+  double revenue = 0.0;
+  for (const AboveBid& bid : bids) {
+    SSA_CHECK(bid.bidder >= 0 && bid.bidder < n);
+    SSA_CHECK(bid.rival >= 0 && bid.rival < n);
+    if (position[bid.bidder] <= k - 1 &&
+        position[bid.bidder] < position[bid.rival]) {
+      revenue += bid.value;
+    }
+  }
+  return revenue;
+}
+
+namespace {
+
+void SearchOrdered(int n, int k, const std::vector<AboveBid>& bids,
+                   std::vector<AdvertiserId>* current, std::vector<char>* used,
+                   AboveWdResult* best) {
+  // Evaluate the current (possibly partial) ordering: trailing slots empty.
+  const double revenue = AboveBidsRevenue(*current, n, bids);
+  if (revenue > best->revenue) {
+    best->revenue = revenue;
+    best->slot_to_advertiser = *current;
+  }
+  const int depth =
+      static_cast<int>(std::count_if(current->begin(), current->end(),
+                                     [](AdvertiserId a) { return a >= 0; }));
+  if (depth == k) return;
+  for (AdvertiserId i = 0; i < n; ++i) {
+    if ((*used)[i]) continue;
+    (*used)[i] = 1;
+    (*current)[depth] = i;
+    SearchOrdered(n, k, bids, current, used, best);
+    (*current)[depth] = -1;
+    (*used)[i] = 0;
+  }
+}
+
+}  // namespace
+
+AboveWdResult SolveAboveBidsExhaustive(int n, int k,
+                                       const std::vector<AboveBid>& bids) {
+  SSA_CHECK(k >= 0 && n >= 0);
+  // Rough size bound: n^k orderings.
+  SSA_CHECK_MSG(std::pow(static_cast<double>(n), k) < 5e7,
+                "exhaustive above-bid instance too large");
+  AboveWdResult best;
+  best.slot_to_advertiser.assign(k, -1);
+  best.revenue = 0.0;
+  std::vector<AdvertiserId> current(k, -1);
+  std::vector<char> used(n, 0);
+  SearchOrdered(n, k, bids, &current, &used, &best);
+  return best;
+}
+
+AboveWdResult SolveAboveBidsGreedy(int n, int k,
+                                   const std::vector<AboveBid>& bids) {
+  AboveWdResult result;
+  result.slot_to_advertiser.assign(k, -1);
+  std::vector<char> used(n, 0);
+  result.revenue = 0.0;
+  for (int depth = 0; depth < k; ++depth) {
+    AdvertiserId best_adv = -1;
+    double best_revenue = result.revenue;
+    for (AdvertiserId i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      result.slot_to_advertiser[depth] = i;
+      const double revenue = AboveBidsRevenue(result.slot_to_advertiser, n, bids);
+      if (revenue > best_revenue) {
+        best_revenue = revenue;
+        best_adv = i;
+      }
+    }
+    if (best_adv == -1) {
+      result.slot_to_advertiser[depth] = -1;
+      break;  // no improving placement
+    }
+    result.slot_to_advertiser[depth] = best_adv;
+    used[best_adv] = 1;
+    result.revenue = best_revenue;
+  }
+  return result;
+}
+
+std::vector<AboveBid> EncodeFeedbackArcInstance(
+    const std::vector<std::tuple<int, int, double>>& weighted_edges) {
+  std::vector<AboveBid> bids;
+  bids.reserve(weighted_edges.size());
+  for (const auto& [u, v, w] : weighted_edges) {
+    SSA_CHECK(u != v);
+    bids.push_back(AboveBid{u, v, w});
+  }
+  return bids;
+}
+
+}  // namespace ssa

@@ -1,0 +1,57 @@
+#ifndef SSA_CORE_ABOVE_BIDS_H_
+#define SSA_CORE_ABOVE_BIDS_H_
+
+#include <tuple>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ssa {
+
+/// A 2-dependent bid (Theorem 3): advertiser `bidder` pays `value` if
+/// `bidder` receives a slot placed strictly above `rival` — where `rival`
+/// either occupies a lower slot or no slot at all. This is the event
+/// E_{i>i'} = ∨_j (Slot^i_j ∧ ((∨_{j'>j} Slot^{i'}_{j'}) ∨ ∧_{j'} ¬Slot^{i'}_{j'})).
+///
+/// Winner determination with such bids is APX-hard (reduction from
+/// maximum-weight feedback arc set), so no fast path exists; this module
+/// provides the exact exponential solver used to *demonstrate* the hardness
+/// boundary, plus a greedy heuristic whose suboptimality the tests exhibit.
+struct AboveBid {
+  AdvertiserId bidder = 0;
+  AdvertiserId rival = 0;
+  Money value = 0;
+};
+
+/// Winner-determination result for above-bids: an ordered list of slot
+/// occupants (index = slot, value = advertiser or -1).
+struct AboveWdResult {
+  std::vector<AdvertiserId> slot_to_advertiser;
+  double revenue = 0.0;
+};
+
+/// Revenue of a concrete slot ordering under pay-what-you-bid.
+double AboveBidsRevenue(const std::vector<AdvertiserId>& slot_to_advertiser,
+                        int n, const std::vector<AboveBid>& bids);
+
+/// Exact solver: enumerates all ordered selections of at most k of the n
+/// advertisers. O(sum_m n!/(n-m)!) — tiny instances only (asserted).
+AboveWdResult SolveAboveBidsExhaustive(int n, int k,
+                                       const std::vector<AboveBid>& bids);
+
+/// Greedy heuristic: repeatedly appends the advertiser whose placement in
+/// the next slot adds the most marginal revenue. Polynomial but suboptimal
+/// in general — the hardness of Theorem 3 is why.
+AboveWdResult SolveAboveBidsGreedy(int n, int k,
+                                   const std::vector<AboveBid>& bids);
+
+/// Theorem 3's encoding: each weighted directed edge (u, v, w) of a digraph
+/// becomes an above-bid "u pays w if placed above v". Maximizing auction
+/// revenue over size-k ordered subsets is then the maximum-weight feedback
+/// arc set over size-k subgraphs.
+std::vector<AboveBid> EncodeFeedbackArcInstance(
+    const std::vector<std::tuple<int, int, double>>& weighted_edges);
+
+}  // namespace ssa
+
+#endif  // SSA_CORE_ABOVE_BIDS_H_

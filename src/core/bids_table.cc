@@ -1,0 +1,52 @@
+#include "core/bids_table.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ssa {
+
+void BidsTable::AddBid(Formula formula, Money value) {
+  SSA_CHECK_MSG(value >= 0, "bid values must be non-negative");
+  rows_.push_back(BidRow{std::move(formula), value});
+}
+
+Money BidsTable::Payment(const AdvertiserOutcome& outcome) const {
+  Money total = 0;
+  for (const BidRow& row : rows_) {
+    if (row.formula.Evaluate(outcome)) total += row.value;
+  }
+  return total;
+}
+
+bool BidsTable::DependsOnlyOnOwnPlacement() const {
+  return std::all_of(rows_.begin(), rows_.end(), [](const BidRow& row) {
+    return row.formula.DependsOnlyOnOwnPlacement();
+  });
+}
+
+SlotIndex BidsTable::MaxSlotIndex() const {
+  SlotIndex m = kNoSlot;
+  for (const BidRow& row : rows_) {
+    m = std::max(m, row.formula.MaxSlotIndex());
+  }
+  return m;
+}
+
+Money BidsTable::TotalValue() const {
+  Money total = 0;
+  for (const BidRow& row : rows_) total += row.value;
+  return total;
+}
+
+std::string BidsTable::ToString() const {
+  std::string out;
+  for (const BidRow& row : rows_) {
+    out += row.formula.ToString();
+    out += " -> ";
+    out += std::to_string(row.value);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ssa

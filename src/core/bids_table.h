@@ -1,0 +1,64 @@
+#ifndef SSA_CORE_BIDS_TABLE_H_
+#define SSA_CORE_BIDS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/formula.h"
+#include "core/outcome.h"
+#include "util/common.h"
+
+namespace ssa {
+
+/// One row of a Bids table: "pay `value` if `formula` is true in the final
+/// outcome" (Section II-A, Figure 3).
+struct BidRow {
+  Formula formula;
+  Money value = 0;
+};
+
+/// An advertiser's OR-bid: a set of (formula, value) rows. If several
+/// formulas are true in an outcome, the advertiser is charged the *sum* of
+/// the corresponding values — the paper's OR-bid semantics, which keeps the
+/// representation polynomial instead of the exponential full-valuation table
+/// of Figure 2.
+class BidsTable {
+ public:
+  BidsTable() = default;
+
+  /// Adds a row. Zero-value rows are kept (programs may emit them; see the
+  /// Figure 6 example where `Click` carries value 0).
+  void AddBid(Formula formula, Money value);
+
+  /// Removes all rows (bidding programs rebuild the table every auction).
+  void Clear() { rows_.clear(); }
+
+  const std::vector<BidRow>& rows() const { return rows_; }
+  bool empty() const { return rows_.empty(); }
+  size_t size() const { return rows_.size(); }
+
+  /// Amount the advertiser pays (assuming pay-what-you-bid) under a concrete
+  /// outcome: the sum of values of all rows whose formula holds.
+  Money Payment(const AdvertiserOutcome& outcome) const;
+
+  /// True iff every row's event depends only on this advertiser's own
+  /// placement (no HeavyInSlot predicates) — i.e. the bid is 1-dependent and
+  /// eligible for the Theorem 2 fast path.
+  bool DependsOnlyOnOwnPlacement() const;
+
+  /// Largest slot index mentioned by any row; -1 if none.
+  SlotIndex MaxSlotIndex() const;
+
+  /// Sum of all row values — an upper bound on any payment.
+  Money TotalValue() const;
+
+  /// Debug form: one "formula -> value" line per row.
+  std::string ToString() const;
+
+ private:
+  std::vector<BidRow> rows_;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_CORE_BIDS_TABLE_H_

@@ -1,0 +1,92 @@
+#include "core/click_model.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ssa {
+
+MatrixClickModel::MatrixClickModel(int num_advertisers, int num_slots,
+                                   std::vector<double> click)
+    : MatrixClickModel(num_advertisers, num_slots, std::move(click), {}) {}
+
+MatrixClickModel::MatrixClickModel(int num_advertisers, int num_slots,
+                                   std::vector<double> click,
+                                   std::vector<double> purchase_given_click)
+    : n_(num_advertisers),
+      k_(num_slots),
+      click_(std::move(click)),
+      purchase_given_click_(std::move(purchase_given_click)) {
+  SSA_CHECK(n_ >= 0 && k_ >= 0);
+  SSA_CHECK(click_.size() == static_cast<size_t>(n_) * k_);
+  SSA_CHECK(purchase_given_click_.empty() ||
+            purchase_given_click_.size() == static_cast<size_t>(n_) * k_);
+  for (double p : click_) SSA_CHECK(p >= 0.0 && p <= 1.0);
+  for (double p : purchase_given_click_) SSA_CHECK(p >= 0.0 && p <= 1.0);
+}
+
+double MatrixClickModel::ClickProbability(AdvertiserId i, SlotIndex j) const {
+  SSA_CHECK(i >= 0 && i < n_ && j >= 0 && j < k_);
+  return click_[static_cast<size_t>(i) * k_ + j];
+}
+
+double MatrixClickModel::PurchaseProbabilityGivenClick(AdvertiserId i,
+                                                       SlotIndex j) const {
+  SSA_CHECK(i >= 0 && i < n_ && j >= 0 && j < k_);
+  if (purchase_given_click_.empty()) return 0.0;
+  return purchase_given_click_[static_cast<size_t>(i) * k_ + j];
+}
+
+SeparableClickModel::SeparableClickModel(std::vector<double> advertiser_factors,
+                                         std::vector<double> slot_factors,
+                                         double purchase_given_click)
+    : advertiser_factors_(std::move(advertiser_factors)),
+      slot_factors_(std::move(slot_factors)),
+      purchase_given_click_(purchase_given_click) {
+  for (double f : advertiser_factors_) SSA_CHECK(f >= 0.0);
+  for (double f : slot_factors_) SSA_CHECK(f >= 0.0);
+  SSA_CHECK(purchase_given_click_ >= 0.0 && purchase_given_click_ <= 1.0);
+}
+
+double SeparableClickModel::ClickProbability(AdvertiserId i,
+                                             SlotIndex j) const {
+  SSA_CHECK(i >= 0 && i < num_advertisers() && j >= 0 && j < num_slots());
+  return std::min(1.0, advertiser_factors_[i] * slot_factors_[j]);
+}
+
+MatrixClickModel MakeSlotIntervalClickModel(int num_advertisers, int num_slots,
+                                            Rng& rng, double lo, double hi,
+                                            double purchase_given_click) {
+  SSA_CHECK(num_slots > 0 && lo >= 0.0 && hi <= 1.0 && lo < hi);
+  const double width = (hi - lo) / num_slots;
+  std::vector<double> click(static_cast<size_t>(num_advertisers) * num_slots);
+  for (int i = 0; i < num_advertisers; ++i) {
+    for (int j = 0; j < num_slots; ++j) {
+      // Slot j gets the (j+1)-th highest interval: slot 0 spans
+      // [hi - width, hi), slot k-1 spans [lo, lo + width).
+      const double interval_lo = hi - width * (j + 1);
+      click[static_cast<size_t>(i) * num_slots + j] =
+          rng.Uniform(interval_lo, interval_lo + width);
+    }
+  }
+  std::vector<double> purchase;
+  if (purchase_given_click > 0.0) {
+    purchase.assign(static_cast<size_t>(num_advertisers) * num_slots,
+                    purchase_given_click);
+  }
+  return MatrixClickModel(num_advertisers, num_slots, std::move(click),
+                          std::move(purchase));
+}
+
+SeparableClickModel MakeRandomSeparableClickModel(int num_advertisers,
+                                                  int num_slots, Rng& rng) {
+  std::vector<double> adv(num_advertisers);
+  for (double& f : adv) f = rng.Uniform(0.2, 1.0);
+  std::vector<double> slot(num_slots);
+  // Descending slot factors: top slot most clickable, as observed in [11].
+  for (int j = 0; j < num_slots; ++j) {
+    slot[j] = 0.9 * (num_slots - j) / num_slots;
+  }
+  return SeparableClickModel(std::move(adv), std::move(slot));
+}
+
+}  // namespace ssa

@@ -1,0 +1,69 @@
+#include "core/expected_revenue.h"
+
+#include <numeric>
+
+namespace ssa {
+
+RevenueMatrix::RevenueMatrix(int num_advertisers, int num_slots)
+    : n_(num_advertisers),
+      k_(num_slots),
+      assigned_(static_cast<size_t>(num_advertisers) * num_slots, 0.0),
+      unassigned_(num_advertisers, 0.0) {
+  SSA_CHECK(n_ >= 0 && k_ >= 0);
+}
+
+double RevenueMatrix::UnassignedTotal() const {
+  return std::accumulate(unassigned_.begin(), unassigned_.end(), 0.0);
+}
+
+Money ExpectedPayment(const BidsTable& bids, const ClickModel& model,
+                      AdvertiserId i, SlotIndex slot) {
+  SSA_CHECK_MSG(bids.DependsOnlyOnOwnPlacement(),
+                "heavyweight bids require the Section III-F solver");
+  const bool assigned = slot != kNoSlot;
+  // With the slot fixed, only the (click, purchase) pair is random. An
+  // unassigned ad is never displayed, hence never clicked; purchases require
+  // the ad's link, so the no-click purchase probability applies only when
+  // displayed (and defaults to zero).
+  const double pc = assigned ? model.ClickProbability(i, slot) : 0.0;
+  const double ppc =
+      assigned ? model.PurchaseProbabilityGivenClick(i, slot) : 0.0;
+  const double ppn =
+      assigned ? model.PurchaseProbabilityGivenNoClick(i, slot) : 0.0;
+
+  const double prob[2][2] = {
+      // [clicked][purchased]
+      {(1.0 - pc) * (1.0 - ppn), (1.0 - pc) * ppn},
+      {pc * (1.0 - ppc), pc * ppc},
+  };
+
+  Money expected = 0;
+  AdvertiserOutcome outcome;
+  outcome.slot = slot;
+  for (int c = 0; c < 2; ++c) {
+    for (int p = 0; p < 2; ++p) {
+      if (prob[c][p] == 0.0) continue;
+      outcome.clicked = (c == 1);
+      outcome.purchased = (p == 1);
+      expected += prob[c][p] * bids.Payment(outcome);
+    }
+  }
+  return expected;
+}
+
+RevenueMatrix BuildRevenueMatrix(const std::vector<BidsTable>& bids,
+                                 const ClickModel& model) {
+  const int n = static_cast<int>(bids.size());
+  const int k = model.num_slots();
+  SSA_CHECK(model.num_advertisers() >= n);
+  RevenueMatrix matrix(n, k);
+  for (AdvertiserId i = 0; i < n; ++i) {
+    for (SlotIndex j = 0; j < k; ++j) {
+      matrix.Set(i, j, ExpectedPayment(bids[i], model, i, j));
+    }
+    matrix.SetUnassigned(i, ExpectedPayment(bids[i], model, i, kNoSlot));
+  }
+  return matrix;
+}
+
+}  // namespace ssa

@@ -1,0 +1,85 @@
+#ifndef SSA_CORE_EXPECTED_REVENUE_H_
+#define SSA_CORE_EXPECTED_REVENUE_H_
+
+#include <vector>
+
+#include "core/bids_table.h"
+#include "core/click_model.h"
+#include "util/common.h"
+
+namespace ssa {
+
+/// The expected-revenue table of Theorem 2's proof: entry (i, j) is the
+/// expected payment (assuming advertisers pay what they bid) from assigning
+/// slot j to advertiser i, plus a per-advertiser *unassigned* baseline —
+/// formulas like `!Slot1` are true when the advertiser gets no slot, so
+/// leaving i out still yields expected revenue r_i(⊥).
+///
+/// Winner determination maximizes
+///     sum_{matched i} r_i(slot(i)) + sum_{unmatched i} r_i(⊥)
+///   = sum_i r_i(⊥)  +  sum_{matched i} (r_i(slot(i)) - r_i(⊥)),
+/// so the matching runs on the *marginal* weights w_ij = r_i(j) - r_i(⊥)
+/// (which may be negative; such assignments are avoided by leaving slots
+/// empty), with `UnassignedTotal()` the additive constant.
+class RevenueMatrix {
+ public:
+  RevenueMatrix(int num_advertisers, int num_slots);
+
+  int num_advertisers() const { return n_; }
+  int num_slots() const { return k_; }
+
+  /// Expected revenue from giving advertiser i slot j.
+  double At(AdvertiserId i, SlotIndex j) const {
+    return assigned_[Index(i, j)];
+  }
+  void Set(AdvertiserId i, SlotIndex j, double r) {
+    assigned_[Index(i, j)] = r;
+  }
+
+  /// Expected revenue from advertiser i when unassigned.
+  double AtUnassigned(AdvertiserId i) const { return unassigned_[Check(i)]; }
+  void SetUnassigned(AdvertiserId i, double r) { unassigned_[Check(i)] = r; }
+
+  /// Marginal matching weight w_ij = r_i(j) - r_i(⊥).
+  double MarginalWeight(AdvertiserId i, SlotIndex j) const {
+    return At(i, j) - AtUnassigned(i);
+  }
+
+  /// sum_i r_i(⊥): the revenue if no slot were sold at all.
+  double UnassignedTotal() const;
+
+  /// Row-major (advertiser-major) view of the assigned table, for the dense
+  /// matching kernels.
+  const std::vector<double>& assigned() const { return assigned_; }
+
+ private:
+  size_t Index(AdvertiserId i, SlotIndex j) const {
+    SSA_CHECK(i >= 0 && i < n_ && j >= 0 && j < k_);
+    return static_cast<size_t>(i) * k_ + j;
+  }
+  AdvertiserId Check(AdvertiserId i) const {
+    SSA_CHECK(i >= 0 && i < n_);
+    return i;
+  }
+
+  int n_;
+  int k_;
+  std::vector<double> assigned_;
+  std::vector<double> unassigned_;
+};
+
+/// Expected payment of one advertiser's OR-bid given a fixed slot (or
+/// kNoSlot), marginalizing over the click/purchase distribution of `model`.
+/// Requires bids.DependsOnlyOnOwnPlacement() (heavyweight formulas take the
+/// Section III-F path in core/heavyweight.h).
+Money ExpectedPayment(const BidsTable& bids, const ClickModel& model,
+                      AdvertiserId i, SlotIndex slot);
+
+/// Builds the full n x k (+ unassigned) revenue matrix from every
+/// advertiser's Bids table. O(n * k * formula size).
+RevenueMatrix BuildRevenueMatrix(const std::vector<BidsTable>& bids,
+                                 const ClickModel& model);
+
+}  // namespace ssa
+
+#endif  // SSA_CORE_EXPECTED_REVENUE_H_

@@ -1,0 +1,173 @@
+#include "core/formula_parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace ssa {
+namespace {
+
+/// Recursive-descent parser over the formula grammar. No exceptions: errors
+/// propagate as Status through the `ok_` flag.
+class FormulaParser {
+ public:
+  explicit FormulaParser(std::string_view text) : text_(text) {}
+
+  StatusOr<Formula> Parse() {
+    Formula f = ParseOr();
+    if (!ok_) return Status::InvalidArgument(error_);
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters at offset " +
+                                     std::to_string(pos_) + " in formula '" +
+                                     std::string(text_) + "'");
+    }
+    return f;
+  }
+
+ private:
+  Formula ParseOr() {
+    Formula f = ParseAnd();
+    while (ok_) {
+      SkipSpace();
+      if (ConsumeOperator("|") || ConsumeKeyword("OR")) {
+        f = Formula::Or(f, ParseAnd());
+      } else {
+        break;
+      }
+    }
+    return f;
+  }
+
+  Formula ParseAnd() {
+    Formula f = ParseUnary();
+    while (ok_) {
+      SkipSpace();
+      if (ConsumeOperator("&") || ConsumeKeyword("AND")) {
+        f = Formula::And(f, ParseUnary());
+      } else {
+        break;
+      }
+    }
+    return f;
+  }
+
+  Formula ParseUnary() {
+    SkipSpace();
+    if (ConsumeOperator("!") || ConsumeKeyword("NOT")) {
+      return Formula::Not(ParseUnary());
+    }
+    return ParseAtom();
+  }
+
+  Formula ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of formula");
+    if (text_[pos_] == '(') {
+      ++pos_;
+      Formula f = ParseOr();
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Fail("expected ')'");
+      }
+      ++pos_;
+      return f;
+    }
+    // Identifier.
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected predicate at offset " + std::to_string(pos_));
+    }
+    std::string ident = Upper(text_.substr(start, pos_ - start));
+    if (ident == "CLICK") return Formula::Click();
+    if (ident == "PURCHASE") return Formula::Purchase();
+    if (ident == "TRUE") return Formula::True();
+    if (ident == "FALSE") return Formula::False();
+    if (ident.rfind("SLOT", 0) == 0) return ParseIndexed(ident, 4, false);
+    if (ident.rfind("HEAVYINSLOT", 0) == 0) {
+      return ParseIndexed(ident, 11, true);
+    }
+    if (ident.rfind("HEAVY", 0) == 0) return ParseIndexed(ident, 5, true);
+    return Fail("unknown predicate '" + ident + "'");
+  }
+
+  /// Parses the 1-based numeric suffix of SlotN / HeavyN identifiers.
+  Formula ParseIndexed(const std::string& ident, size_t prefix_len,
+                       bool heavy) {
+    if (ident.size() == prefix_len) {
+      return Fail("predicate '" + ident + "' needs a slot number");
+    }
+    int value = 0;
+    for (size_t i = prefix_len; i < ident.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(ident[i]))) {
+        return Fail("bad slot number in '" + ident + "'");
+      }
+      value = value * 10 + (ident[i] - '0');
+      if (value > 1000000) return Fail("slot number out of range");
+    }
+    if (value < 1) return Fail("slot numbers are 1-based");
+    return heavy ? Formula::HeavyInSlot(value - 1) : Formula::Slot(value - 1);
+  }
+
+  bool ConsumeOperator(std::string_view op) {
+    if (text_.substr(pos_).rfind(op, 0) == 0) {
+      pos_ += op.size();
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes a case-insensitive keyword if it appears as a whole word.
+  bool ConsumeKeyword(std::string_view kw) {
+    if (pos_ + kw.size() > text_.size()) return false;
+    for (size_t i = 0; i < kw.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(text_[pos_ + i])) != kw[i]) {
+        return false;
+      }
+    }
+    size_t end = pos_ + kw.size();
+    if (end < text_.size() &&
+        std::isalnum(static_cast<unsigned char>(text_[end]))) {
+      return false;  // part of a longer identifier
+    }
+    pos_ = end;
+    return true;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  static std::string Upper(std::string_view s) {
+    std::string out(s);
+    for (char& c : out) c = static_cast<char>(std::toupper(c));
+    return out;
+  }
+
+  Formula Fail(std::string message) {
+    if (ok_) {
+      ok_ = false;
+      error_ = std::move(message);
+    }
+    return Formula::False();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace
+
+StatusOr<Formula> ParseFormula(std::string_view text) {
+  return FormulaParser(text).Parse();
+}
+
+}  // namespace ssa

@@ -1,0 +1,28 @@
+#ifndef SSA_CORE_FORMULA_PARSER_H_
+#define SSA_CORE_FORMULA_PARSER_H_
+
+#include <string_view>
+
+#include "core/formula.h"
+#include "util/status.h"
+
+namespace ssa {
+
+/// Parses the textual bid-formula syntax used throughout the paper's
+/// examples (Figures 3, 4, 6) and by the bidding-program language:
+///
+///   formula  := or
+///   or       := and  (("|" | "OR")  and)*
+///   and      := unary (("&" | "AND") unary)*
+///   unary    := ("!" | "NOT") unary | atom
+///   atom     := "(" formula ")" | predicate
+///   predicate:= "SlotN" (1-based) | "Click" | "Purchase" | "HeavyN"
+///              | "True" | "False"
+///
+/// Keywords are case-insensitive; `Slot1` denotes the topmost slot and maps
+/// to internal slot index 0.
+StatusOr<Formula> ParseFormula(std::string_view text);
+
+}  // namespace ssa
+
+#endif  // SSA_CORE_FORMULA_PARSER_H_

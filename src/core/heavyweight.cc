@@ -1,0 +1,289 @@
+#include "core/heavyweight.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <utility>
+
+#include "matching/hungarian.h"
+
+namespace ssa {
+
+ShadowHeavyClickModel::ShadowHeavyClickModel(
+    std::shared_ptr<const ClickModel> base, std::vector<bool> is_heavy,
+    double light_shadow, double heavy_shadow, double purchase_given_click)
+    : base_(std::move(base)),
+      is_heavy_(std::move(is_heavy)),
+      light_shadow_(light_shadow),
+      heavy_shadow_(heavy_shadow),
+      purchase_given_click_(purchase_given_click) {
+  SSA_CHECK(base_ != nullptr);
+  SSA_CHECK(static_cast<int>(is_heavy_.size()) == base_->num_advertisers());
+  SSA_CHECK(light_shadow_ >= 0.0 && light_shadow_ < 1.0);
+  SSA_CHECK(heavy_shadow_ >= 0.0 && heavy_shadow_ < 1.0);
+}
+
+double ShadowHeavyClickModel::ClickProbability(AdvertiserId i, SlotIndex j,
+                                               uint32_t heavy_mask) const {
+  double p = base_->ClickProbability(i, j);
+  const double shadow = is_heavy_[i] ? heavy_shadow_ : light_shadow_;
+  // Every heavyweight strictly above slot j diverts a fraction of clicks.
+  const uint32_t above = heavy_mask & ((j >= 32) ? ~0u : ((1u << j) - 1u));
+  for (uint32_t bits = above; bits != 0; bits &= bits - 1) p *= 1.0 - shadow;
+  return p;
+}
+
+TableHeavyClickModel::TableHeavyClickModel(int num_advertisers, int num_slots,
+                                           std::vector<double> click,
+                                           double purchase_given_click)
+    : n_(num_advertisers),
+      k_(num_slots),
+      click_(std::move(click)),
+      purchase_given_click_(purchase_given_click) {
+  SSA_CHECK(k_ >= 0 && k_ < 20);  // table is O(n k 2^k)
+  SSA_CHECK(click_.size() ==
+            (static_cast<size_t>(n_) * k_) << static_cast<size_t>(k_));
+  for (double p : click_) SSA_CHECK(p >= 0.0 && p <= 1.0);
+}
+
+double TableHeavyClickModel::ClickProbability(AdvertiserId i, SlotIndex j,
+                                              uint32_t heavy_mask) const {
+  SSA_CHECK(i >= 0 && i < n_ && j >= 0 && j < k_);
+  SSA_CHECK(heavy_mask < (1u << k_));
+  return click_[((static_cast<size_t>(i) * k_ + j) << k_) + heavy_mask];
+}
+
+Money ExpectedPaymentHeavy(const BidsTable& bids,
+                           const HeavyAwareClickModel& model, AdvertiserId i,
+                           SlotIndex slot, uint32_t heavy_mask) {
+  const bool assigned = slot != kNoSlot;
+  const double pc = assigned ? model.ClickProbability(i, slot, heavy_mask) : 0.0;
+  const double ppc =
+      assigned ? model.PurchaseProbabilityGivenClick(i, slot, heavy_mask) : 0.0;
+  const double prob[2][2] = {
+      {1.0 - pc, 0.0},
+      {pc * (1.0 - ppc), pc * ppc},
+  };
+  Money expected = 0;
+  AdvertiserOutcome outcome;
+  outcome.slot = slot;
+  outcome.heavy_slot_mask = heavy_mask;
+  for (int c = 0; c < 2; ++c) {
+    for (int p = 0; p < 2; ++p) {
+      if (prob[c][p] == 0.0) continue;
+      outcome.clicked = (c == 1);
+      outcome.purchased = (p == 1);
+      expected += prob[c][p] * bids.Payment(outcome);
+    }
+  }
+  return expected;
+}
+
+namespace {
+
+/// Solves one heavyweight-slot choice (one `mask`); returns the expected
+/// revenue and fills `out` with the combined allocation. Returns -inf when
+/// the mask is infeasible (fewer heavyweights than declared heavy slots).
+double SolveForMask(const std::vector<BidsTable>& bids,
+                    const HeavyAwareClickModel& model,
+                    const std::vector<AdvertiserId>& heavy_ids,
+                    const std::vector<AdvertiserId>& light_ids, int k,
+                    uint32_t mask, Allocation* out) {
+  const int n = static_cast<int>(bids.size());
+  std::vector<SlotIndex> heavy_slots, light_slots;
+  for (SlotIndex j = 0; j < k; ++j) {
+    if ((mask >> j) & 1u) {
+      heavy_slots.push_back(j);
+    } else {
+      light_slots.push_back(j);
+    }
+  }
+  if (heavy_ids.size() < heavy_slots.size()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+
+  // Unassigned baselines depend on the mask (formulas may mention
+  // HeavyInSlot even when the advertiser gets no slot).
+  double total = 0.0;
+  std::vector<double> baseline(n);
+  for (AdvertiserId i = 0; i < n; ++i) {
+    baseline[i] = ExpectedPaymentHeavy(bids[i], model, i, kNoSlot, mask);
+    total += baseline[i];
+  }
+
+  *out = Allocation::Empty(n, k);
+
+  // Heavyweights -> heavy slots: *perfect* on the heavy slots, so that the
+  // declared mask is realized (negative marginals allowed).
+  if (!heavy_slots.empty()) {
+    const int h = static_cast<int>(heavy_slots.size());
+    const int nh = static_cast<int>(heavy_ids.size());
+    std::vector<double> w(static_cast<size_t>(nh) * h);
+    for (int a = 0; a < nh; ++a) {
+      const AdvertiserId i = heavy_ids[a];
+      for (int s = 0; s < h; ++s) {
+        w[static_cast<size_t>(a) * h + s] =
+            ExpectedPaymentHeavy(bids[i], model, i, heavy_slots[s], mask) -
+            baseline[i];
+      }
+    }
+    std::vector<AdvertiserId> all(nh);
+    for (int a = 0; a < nh; ++a) all[a] = a;
+    Allocation sub = MaxWeightPerfectMatchingSubset(w, nh, h, all);
+    for (int s = 0; s < h; ++s) {
+      const int a = sub.slot_to_advertiser[s];
+      SSA_CHECK_MSG(a >= 0, "heavy slot left unfilled by perfect matching");
+      const AdvertiserId i = heavy_ids[a];
+      out->slot_to_advertiser[heavy_slots[s]] = i;
+      out->advertiser_to_slot[i] = heavy_slots[s];
+    }
+    total += sub.total_weight;
+    out->total_weight += sub.total_weight;
+  }
+
+  // Lightweights -> light slots: ordinary optional matching.
+  if (!light_slots.empty() && !light_ids.empty()) {
+    const int l = static_cast<int>(light_slots.size());
+    const int nl = static_cast<int>(light_ids.size());
+    std::vector<double> w(static_cast<size_t>(nl) * l);
+    for (int a = 0; a < nl; ++a) {
+      const AdvertiserId i = light_ids[a];
+      for (int s = 0; s < l; ++s) {
+        w[static_cast<size_t>(a) * l + s] =
+            ExpectedPaymentHeavy(bids[i], model, i, light_slots[s], mask) -
+            baseline[i];
+      }
+    }
+    Allocation sub = MaxWeightMatchingDense(w, nl, l);
+    for (int s = 0; s < l; ++s) {
+      const int a = sub.slot_to_advertiser[s];
+      if (a < 0) continue;
+      const AdvertiserId i = light_ids[a];
+      out->slot_to_advertiser[light_slots[s]] = i;
+      out->advertiser_to_slot[i] = light_slots[s];
+    }
+    total += sub.total_weight;
+    out->total_weight += sub.total_weight;
+  }
+  return total;
+}
+
+}  // namespace
+
+HeavyWdResult DetermineWinnersHeavy(const std::vector<BidsTable>& bids,
+                                    const HeavyAwareClickModel& model,
+                                    const std::vector<bool>& is_heavy,
+                                    ThreadPool* pool) {
+  const int n = static_cast<int>(bids.size());
+  const int k = model.num_slots();
+  SSA_CHECK(static_cast<int>(is_heavy.size()) == n);
+  SSA_CHECK_MSG(k < 25, "2^k enumeration requires small k");
+
+  std::vector<AdvertiserId> heavy_ids, light_ids;
+  for (AdvertiserId i = 0; i < n; ++i) {
+    (is_heavy[i] ? heavy_ids : light_ids).push_back(i);
+  }
+
+  const uint32_t num_masks = 1u << k;
+  HeavyWdResult best;
+  best.expected_revenue = -std::numeric_limits<double>::infinity();
+
+  if (pool == nullptr) {
+    for (uint32_t mask = 0; mask < num_masks; ++mask) {
+      Allocation alloc;
+      const double revenue =
+          SolveForMask(bids, model, heavy_ids, light_ids, k, mask, &alloc);
+      if (revenue > best.expected_revenue) {
+        best.expected_revenue = revenue;
+        best.heavy_slot_mask = mask;
+        best.allocation = std::move(alloc);
+      }
+    }
+  } else {
+    // The paper's 2^k independent processing units: each mask is a task.
+    std::mutex mu;
+    pool->ParallelFor(static_cast<int>(num_masks), [&](int m) {
+      Allocation alloc;
+      const uint32_t mask = static_cast<uint32_t>(m);
+      const double revenue =
+          SolveForMask(bids, model, heavy_ids, light_ids, k, mask, &alloc);
+      std::lock_guard<std::mutex> lock(mu);
+      if (revenue > best.expected_revenue ||
+          (revenue == best.expected_revenue && mask < best.heavy_slot_mask)) {
+        best.expected_revenue = revenue;
+        best.heavy_slot_mask = mask;
+        best.allocation = std::move(alloc);
+      }
+    });
+  }
+  SSA_CHECK_MSG(std::isfinite(best.expected_revenue),
+                "no feasible heavyweight mask (mask 0 is always feasible)");
+  return best;
+}
+
+HeavyWdResult BruteForceHeavy(const std::vector<BidsTable>& bids,
+                              const HeavyAwareClickModel& model,
+                              const std::vector<bool>& is_heavy) {
+  const int n = static_cast<int>(bids.size());
+  const int k = model.num_slots();
+  SSA_CHECK_MSG(std::pow(n + 1.0, k) < 2e6, "oracle instance too large");
+
+  HeavyWdResult best;
+  best.expected_revenue = -std::numeric_limits<double>::infinity();
+  std::vector<AdvertiserId> slots(k, -1);
+  std::vector<char> used(n, 0);
+
+  // Enumerate every partial injective assignment; the mask is implied.
+  auto evaluate = [&]() {
+    uint32_t mask = 0;
+    for (int j = 0; j < k; ++j) {
+      if (slots[j] >= 0 && is_heavy[slots[j]]) mask |= 1u << j;
+    }
+    double total = 0.0;
+    std::vector<char> assigned(n, 0);
+    for (int j = 0; j < k; ++j) {
+      if (slots[j] >= 0) {
+        assigned[slots[j]] = 1;
+        total += ExpectedPaymentHeavy(bids[slots[j]], model, slots[j], j, mask);
+      }
+    }
+    for (AdvertiserId i = 0; i < n; ++i) {
+      if (!assigned[i]) {
+        total += ExpectedPaymentHeavy(bids[i], model, i, kNoSlot, mask);
+      }
+    }
+    if (total > best.expected_revenue) {
+      best.expected_revenue = total;
+      best.heavy_slot_mask = mask;
+      best.allocation = Allocation::Empty(n, k);
+      best.allocation.slot_to_advertiser = slots;
+      for (int j = 0; j < k; ++j) {
+        if (slots[j] >= 0) best.allocation.advertiser_to_slot[slots[j]] = j;
+      }
+    }
+  };
+
+  // Recursive enumeration without std::function, via explicit lambda fix.
+  auto search = [&](auto&& self, int slot) -> void {
+    if (slot == k) {
+      evaluate();
+      return;
+    }
+    slots[slot] = -1;
+    self(self, slot + 1);
+    for (AdvertiserId i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      used[i] = 1;
+      slots[slot] = i;
+      self(self, slot + 1);
+      slots[slot] = -1;
+      used[i] = 0;
+    }
+  };
+  search(search, 0);
+  return best;
+}
+
+}  // namespace ssa

@@ -1,0 +1,125 @@
+#ifndef SSA_CORE_HEAVYWEIGHT_H_
+#define SSA_CORE_HEAVYWEIGHT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/bids_table.h"
+#include "core/click_model.h"
+#include "matching/allocation.h"
+#include "util/common.h"
+#include "util/thread_pool.h"
+
+namespace ssa {
+
+/// Section III-F: beyond 1-dependence. Advertisers are classified as
+/// heavyweights (famous) or lightweights; click/purchase probabilities may
+/// now depend on *which slots hold heavyweights* (the `heavy_mask`), and
+/// bids may mention the HeavyInSlot predicates. Representations stay
+/// O(k 2^(k-1)) — independent of n.
+class HeavyAwareClickModel {
+ public:
+  virtual ~HeavyAwareClickModel() = default;
+
+  virtual int num_advertisers() const = 0;
+  virtual int num_slots() const = 0;
+
+  /// P(click | advertiser i in slot j, heavyweight slots = heavy_mask).
+  virtual double ClickProbability(AdvertiserId i, SlotIndex j,
+                                  uint32_t heavy_mask) const = 0;
+  virtual double PurchaseProbabilityGivenClick(AdvertiserId i, SlotIndex j,
+                                               uint32_t heavy_mask) const = 0;
+};
+
+/// The motivating example of Section III-F made concrete: a heavyweight
+/// above you "shadows" your ad. The click probability is a base
+/// (advertiser, slot) matrix damped multiplicatively by every heavyweight
+/// placed strictly above:
+///   P(click | i, j, H) = base(i, j) * prod_{j' < j, j' in H} (1 - shadow_i)
+/// where shadow_i is `heavy_shadow` if advertiser i is itself a heavyweight
+/// (big brands suffer less) and `light_shadow` otherwise.
+class ShadowHeavyClickModel : public HeavyAwareClickModel {
+ public:
+  ShadowHeavyClickModel(std::shared_ptr<const ClickModel> base,
+                        std::vector<bool> is_heavy, double light_shadow,
+                        double heavy_shadow,
+                        double purchase_given_click = 0.0);
+
+  int num_advertisers() const override { return base_->num_advertisers(); }
+  int num_slots() const override { return base_->num_slots(); }
+  double ClickProbability(AdvertiserId i, SlotIndex j,
+                          uint32_t heavy_mask) const override;
+  double PurchaseProbabilityGivenClick(AdvertiserId, SlotIndex,
+                                       uint32_t) const override {
+    return purchase_given_click_;
+  }
+
+ private:
+  std::shared_ptr<const ClickModel> base_;
+  std::vector<bool> is_heavy_;
+  double light_shadow_;
+  double heavy_shadow_;
+  double purchase_given_click_;
+};
+
+/// Fully general table: explicit P(click | i, j, mask) of size n * k * 2^k.
+/// Exponential in k — used by tests and tiny instances, mirroring the
+/// paper's remark that the general representation is O(k 2^(k-1)).
+class TableHeavyClickModel : public HeavyAwareClickModel {
+ public:
+  /// click[( i * k + j ) * 2^k + mask].
+  TableHeavyClickModel(int num_advertisers, int num_slots,
+                       std::vector<double> click,
+                       double purchase_given_click = 0.0);
+
+  int num_advertisers() const override { return n_; }
+  int num_slots() const override { return k_; }
+  double ClickProbability(AdvertiserId i, SlotIndex j,
+                          uint32_t heavy_mask) const override;
+  double PurchaseProbabilityGivenClick(AdvertiserId, SlotIndex,
+                                       uint32_t) const override {
+    return purchase_given_click_;
+  }
+
+ private:
+  int n_;
+  int k_;
+  std::vector<double> click_;
+  double purchase_given_click_;
+};
+
+/// Expected payment of a bid (which may mention HeavyInSlot predicates)
+/// given the advertiser's slot (or kNoSlot) and the heavyweight slot mask.
+Money ExpectedPaymentHeavy(const BidsTable& bids,
+                           const HeavyAwareClickModel& model, AdvertiserId i,
+                           SlotIndex slot, uint32_t heavy_mask);
+
+/// Winner determination result in the heavyweight model.
+struct HeavyWdResult {
+  Allocation allocation;
+  /// Chosen heavyweight-slot set (bit j => slot j holds a heavyweight).
+  uint32_t heavy_slot_mask = 0;
+  double expected_revenue = 0.0;
+};
+
+/// The Section III-F algorithm: enumerate all 2^k choices of heavyweight
+/// slots; for each, solve two disjoint matchings — heavyweights to heavy
+/// slots (perfect: a declared-heavy slot must actually receive a
+/// heavyweight) and lightweights to the remaining slots — and keep the best
+/// total. O(2^k (n log k + k^5)) serial; subsets run concurrently on `pool`
+/// when provided (the paper's 2^k processing units).
+HeavyWdResult DetermineWinnersHeavy(const std::vector<BidsTable>& bids,
+                                    const HeavyAwareClickModel& model,
+                                    const std::vector<bool>& is_heavy,
+                                    ThreadPool* pool = nullptr);
+
+/// Exhaustive oracle over all slot assignments (mask is derived from the
+/// assignment). Exponential; tests only.
+HeavyWdResult BruteForceHeavy(const std::vector<BidsTable>& bids,
+                              const HeavyAwareClickModel& model,
+                              const std::vector<bool>& is_heavy);
+
+}  // namespace ssa
+
+#endif  // SSA_CORE_HEAVYWEIGHT_H_

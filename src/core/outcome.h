@@ -1,0 +1,29 @@
+#ifndef SSA_CORE_OUTCOME_H_
+#define SSA_CORE_OUTCOME_H_
+
+#include <cstdint>
+
+#include "util/common.h"
+
+namespace ssa {
+
+/// The features of an auction outcome visible to one advertiser's bid
+/// formulas (Section II-A): which slot (if any) the advertiser received,
+/// whether the user clicked the ad, whether the user made a purchase, and —
+/// for the Section III-F extension — which slots were assigned heavyweight
+/// advertisers.
+struct AdvertiserOutcome {
+  /// Slot assigned to this advertiser; kNoSlot if not displayed.
+  SlotIndex slot = kNoSlot;
+  /// True if the user clicked this advertiser's ad.
+  bool clicked = false;
+  /// True if the user made a purchase via this advertiser's ad.
+  bool purchased = false;
+  /// Bit j set iff slot j is occupied by a heavyweight advertiser
+  /// (Section III-F). Zero in the plain multi-feature model.
+  uint32_t heavy_slot_mask = 0;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_CORE_OUTCOME_H_

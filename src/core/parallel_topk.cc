@@ -1,0 +1,146 @@
+#include "core/parallel_topk.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/timer.h"
+
+namespace ssa {
+namespace {
+
+/// Partial aggregate held by one tree node: for each slot, the top-k
+/// (weight, advertiser) pairs seen in its subtree, sorted descending.
+struct NodeState {
+  // per-slot sorted lists, each of size <= k.
+  std::vector<std::vector<std::pair<double, AdvertiserId>>> per_slot;
+};
+
+/// Leaf computation: local per-slot top-k over an advertiser range via
+/// size-k min-heaps — O((hi-lo) * k log k).
+NodeState ComputeLeaf(const RevenueMatrix& revenue, AdvertiserId lo,
+                      AdvertiserId hi) {
+  const int k = revenue.num_slots();
+  NodeState state;
+  state.per_slot.resize(k);
+  using Entry = std::pair<double, AdvertiserId>;
+  for (SlotIndex j = 0; j < k; ++j) {
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+    for (AdvertiserId i = lo; i < hi; ++i) {
+      const double w = revenue.At(i, j) - revenue.AtUnassigned(i);
+      if (w <= 0.0) continue;
+      if (static_cast<int>(heap.size()) < k) {
+        heap.emplace(w, i);
+      } else if (heap.top() < Entry(w, i)) {  // (weight, id) pair order
+        heap.pop();
+        heap.emplace(w, i);
+      }
+    }
+    auto& list = state.per_slot[j];
+    list.reserve(heap.size());
+    while (!heap.empty()) {
+      list.push_back(heap.top());
+      heap.pop();
+    }
+    std::sort(list.rbegin(), list.rend());
+  }
+  return state;
+}
+
+/// Internal node: merge two children's sorted top-k lists, keep top k —
+/// O(k) per slot, the constant-time-per-level step of the paper's network.
+NodeState MergeNodes(const NodeState& a, const NodeState& b, int k) {
+  NodeState out;
+  const int slots = static_cast<int>(a.per_slot.size());
+  out.per_slot.resize(slots);
+  for (int j = 0; j < slots; ++j) {
+    const auto& la = a.per_slot[j];
+    const auto& lb = b.per_slot[j];
+    auto& lo = out.per_slot[j];
+    lo.reserve(std::min<size_t>(k, la.size() + lb.size()));
+    size_t ia = 0, ib = 0;
+    while (lo.size() < static_cast<size_t>(k) &&
+           (ia < la.size() || ib < lb.size())) {
+      if (ib >= lb.size() || (ia < la.size() && la[ia] >= lb[ib])) {
+        lo.push_back(la[ia++]);
+      } else {
+        lo.push_back(lb[ib++]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TreeAggregationResult TreeTopKAggregate(const RevenueMatrix& revenue,
+                                        int num_blocks, ThreadPool* pool) {
+  const int n = revenue.num_advertisers();
+  const int k = revenue.num_slots();
+  SSA_CHECK(num_blocks >= 1);
+  num_blocks = std::min(num_blocks, std::max(1, n));
+
+  TreeAggregationResult result;
+
+  // --- Leaf level: p parallel blocks of ~n/p advertisers each.
+  std::vector<NodeState> level(num_blocks);
+  std::vector<double> leaf_ms(num_blocks, 0.0);
+  auto leaf_task = [&](int b) {
+    WallTimer timer;
+    const AdvertiserId lo = static_cast<AdvertiserId>(
+        static_cast<int64_t>(n) * b / num_blocks);
+    const AdvertiserId hi = static_cast<AdvertiserId>(
+        static_cast<int64_t>(n) * (b + 1) / num_blocks);
+    level[b] = ComputeLeaf(revenue, lo, hi);
+    leaf_ms[b] = timer.ElapsedMillis();
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_blocks, leaf_task);
+  } else {
+    for (int b = 0; b < num_blocks; ++b) leaf_task(b);
+  }
+  result.leaf_critical_ms =
+      *std::max_element(leaf_ms.begin(), leaf_ms.end());
+  result.critical_path_ms = result.leaf_critical_ms;
+
+  // --- Merge levels: pairwise, with a barrier per level (the synchronous
+  // tree network of Section III-E).
+  while (level.size() > 1) {
+    const int pairs = static_cast<int>(level.size()) / 2;
+    const bool odd = (level.size() % 2) != 0;
+    std::vector<NodeState> next(pairs + (odd ? 1 : 0));
+    std::vector<double> merge_ms(pairs, 0.0);
+    auto merge_task = [&](int p) {
+      WallTimer timer;
+      next[p] = MergeNodes(level[2 * p], level[2 * p + 1], k);
+      merge_ms[p] = timer.ElapsedMillis();
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(pairs, merge_task);
+    } else {
+      for (int p = 0; p < pairs; ++p) merge_task(p);
+    }
+    if (odd) next.back() = std::move(level.back());
+    const double level_max =
+        pairs > 0 ? *std::max_element(merge_ms.begin(), merge_ms.end()) : 0.0;
+    result.level_critical_ms.push_back(level_max);
+    result.critical_path_ms += level_max;
+    ++result.merge_levels;
+    level = std::move(next);
+  }
+
+  // --- Root: union of per-slot lists.
+  std::vector<char> seen(n, 0);
+  for (const auto& list : level[0].per_slot) {
+    for (const auto& [w, i] : list) {
+      (void)w;
+      if (!seen[i]) {
+        seen[i] = 1;
+        result.candidates.push_back(i);
+      }
+    }
+  }
+  std::sort(result.candidates.begin(), result.candidates.end());
+  return result;
+}
+
+}  // namespace ssa

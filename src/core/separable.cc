@@ -1,0 +1,73 @@
+#include "core/separable.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace ssa {
+
+Allocation SeparableAllocate(const std::vector<Money>& click_values,
+                             const SeparableClickModel& model) {
+  const int n = model.num_advertisers();
+  const int k = model.num_slots();
+  SSA_CHECK(static_cast<int>(click_values.size()) == n);
+
+  // Top-k advertisers by advertiser-specific score alpha_i * v_i, via a
+  // size-k min-heap: O(n log k).
+  using Entry = std::pair<double, AdvertiserId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (AdvertiserId i = 0; i < n; ++i) {
+    const double score = model.advertiser_factors()[i] * click_values[i];
+    if (score <= 0.0) continue;
+    if (static_cast<int>(heap.size()) < k) {
+      heap.emplace(score, i);
+    } else if (heap.top() < Entry(score, i)) {  // (score, id) pair order
+      heap.pop();
+      heap.emplace(score, i);
+    }
+  }
+  std::vector<Entry> top;
+  top.reserve(heap.size());
+  while (!heap.empty()) {
+    top.push_back(heap.top());
+    heap.pop();
+  }
+  std::sort(top.rbegin(), top.rend());  // descending score
+
+  // Slots by descending slot factor.
+  std::vector<SlotIndex> slot_order(k);
+  for (SlotIndex j = 0; j < k; ++j) slot_order[j] = j;
+  std::sort(slot_order.begin(), slot_order.end(), [&](SlotIndex a, SlotIndex b) {
+    if (model.slot_factors()[a] != model.slot_factors()[b]) {
+      return model.slot_factors()[a] > model.slot_factors()[b];
+    }
+    return a < b;
+  });
+
+  Allocation alloc = Allocation::Empty(n, k);
+  for (size_t r = 0; r < top.size() && r < static_cast<size_t>(k); ++r) {
+    const AdvertiserId i = top[r].second;
+    const SlotIndex j = slot_order[r];
+    alloc.slot_to_advertiser[j] = i;
+    alloc.advertiser_to_slot[i] = j;
+    alloc.total_weight +=
+        model.ClickProbability(i, j) * click_values[i];
+  }
+  return alloc;
+}
+
+bool IsSeparable(const std::vector<double>& click, int n, int k,
+                 double tolerance) {
+  SSA_CHECK(click.size() == static_cast<size_t>(n) * k);
+  auto at = [&](int i, int j) { return click[static_cast<size_t>(i) * k + j]; };
+  // Rank-one test: all 2x2 minors against the first row/column vanish.
+  for (int i = 1; i < n; ++i) {
+    for (int j = 1; j < k; ++j) {
+      const double minor = at(0, 0) * at(i, j) - at(0, j) * at(i, 0);
+      if (std::abs(minor) > tolerance) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ssa

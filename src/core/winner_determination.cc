@@ -1,0 +1,158 @@
+#include "core/winner_determination.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "lp/assignment_lp.h"
+#include "matching/brute_force.h"
+#include "matching/hungarian.h"
+#include "matching/munkres.h"
+
+namespace ssa {
+
+std::string WdMethodName(WdMethod method) {
+  switch (method) {
+    case WdMethod::kLp:
+      return "LP";
+    case WdMethod::kHungarian:
+      return "H";
+    case WdMethod::kReducedHungarian:
+      return "RH";
+    case WdMethod::kBruteForce:
+      return "BF";
+  }
+  return "?";
+}
+
+std::vector<double> MarginalWeights(const RevenueMatrix& revenue) {
+  const int n = revenue.num_advertisers();
+  const int k = revenue.num_slots();
+  std::vector<double> w(static_cast<size_t>(n) * k);
+  for (AdvertiserId i = 0; i < n; ++i) {
+    const double base = revenue.AtUnassigned(i);
+    for (SlotIndex j = 0; j < k; ++j) {
+      w[static_cast<size_t>(i) * k + j] = revenue.At(i, j) - base;
+    }
+  }
+  return w;
+}
+
+std::vector<AdvertiserId> SelectTopPerSlotCandidates(
+    const RevenueMatrix& revenue, int per_slot) {
+  SSA_CHECK(per_slot >= 1);
+  const int n = revenue.num_advertisers();
+  const int k = revenue.num_slots();
+
+  // One size-bounded min-heap per slot over (weight, advertiser). The root
+  // is the weakest of the current top `per_slot`, so each of the n*k entries
+  // costs O(log per_slot) — the O(nk log k) term of Section III-E.
+  using HeapEntry = std::pair<double, AdvertiserId>;
+  std::vector<std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                                  std::greater<HeapEntry>>>
+      heaps(k);
+  for (AdvertiserId i = 0; i < n; ++i) {
+    const double base = revenue.AtUnassigned(i);
+    for (SlotIndex j = 0; j < k; ++j) {
+      const double w = revenue.At(i, j) - base;
+      if (w <= 0.0) continue;  // never beats leaving the slot empty
+      auto& heap = heaps[j];
+      if (static_cast<int>(heap.size()) < per_slot) {
+        heap.emplace(w, i);
+      } else if (heap.top() < HeapEntry(w, i)) {
+        // Strict (weight, id) pair ordering: deterministic and
+        // insertion-order independent, so the Threshold Algorithm pipeline
+        // selects the identical candidate set (equivalence tests rely on
+        // this).
+        heap.pop();
+        heap.emplace(w, i);
+      }
+    }
+  }
+
+  std::vector<char> seen(n, 0);
+  std::vector<AdvertiserId> candidates;
+  candidates.reserve(static_cast<size_t>(k) * per_slot);
+  for (auto& heap : heaps) {
+    while (!heap.empty()) {
+      const AdvertiserId i = heap.top().second;
+      heap.pop();
+      if (!seen[i]) {
+        seen[i] = 1;
+        candidates.push_back(i);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+WdResult SolveOnCandidates(const RevenueMatrix& revenue,
+                           const std::vector<AdvertiserId>& candidates) {
+  const std::vector<double> w = MarginalWeights(revenue);
+  WdResult result;
+  result.allocation = MaxWeightMatchingSubset(w, revenue.num_advertisers(),
+                                              revenue.num_slots(), candidates);
+  result.matching_weight = result.allocation.total_weight;
+  result.expected_revenue = result.matching_weight + revenue.UnassignedTotal();
+  return result;
+}
+
+namespace {
+
+/// Canonicalizes an optimal allocation: an edge with non-positive marginal
+/// weight is revenue-neutral (or harmful) versus leaving the slot empty, so
+/// it is dropped. RH never produces such edges (its candidate heaps keep
+/// strictly positive weights only); LP and Munkres can tie-break toward
+/// filling a slot with a zero-weight advertiser, which would make the
+/// methods observably different auctions (a seated zero-bidder still
+/// collects clicks and mutates its ROI state). After this pass all methods
+/// yield the same allocation except on exact positive-weight ties.
+void DropNonPositiveEdges(const RevenueMatrix& revenue, Allocation* a) {
+  a->total_weight = 0.0;
+  for (SlotIndex j = 0; j < a->num_slots(); ++j) {
+    const AdvertiserId i = a->slot_to_advertiser[j];
+    if (i < 0) continue;
+    const double w = revenue.MarginalWeight(i, j);
+    if (w <= 0.0) {
+      a->slot_to_advertiser[j] = -1;
+      a->advertiser_to_slot[i] = kNoSlot;
+    } else {
+      a->total_weight += w;
+    }
+  }
+}
+
+}  // namespace
+
+WdResult DetermineWinners(const RevenueMatrix& revenue, WdMethod method) {
+  const int n = revenue.num_advertisers();
+  const int k = revenue.num_slots();
+  WdResult result;
+  switch (method) {
+    case WdMethod::kLp: {
+      const std::vector<double> w = MarginalWeights(revenue);
+      StatusOr<Allocation> alloc = SolveAssignmentLp(w, n, k);
+      SSA_CHECK_MSG(alloc.ok(), alloc.status().ToString().c_str());
+      result.allocation = *std::move(alloc);
+      break;
+    }
+    case WdMethod::kHungarian: {
+      result.allocation = MunkresMatching(MarginalWeights(revenue), n, k);
+      break;
+    }
+    case WdMethod::kReducedHungarian: {
+      return SolveOnCandidates(revenue,
+                               SelectTopPerSlotCandidates(revenue, k));
+    }
+    case WdMethod::kBruteForce: {
+      result.allocation = BruteForceMatching(MarginalWeights(revenue), n, k);
+      break;
+    }
+  }
+  DropNonPositiveEdges(revenue, &result.allocation);
+  result.matching_weight = result.allocation.total_weight;
+  result.expected_revenue = result.matching_weight + revenue.UnassignedTotal();
+  return result;
+}
+
+}  // namespace ssa

@@ -1,0 +1,60 @@
+#include "db/table.h"
+
+#include <utility>
+
+namespace ssa {
+
+Table::Table(std::string name, std::vector<std::string> column_names)
+    : name_(std::move(name)), column_names_(std::move(column_names)) {
+  SSA_CHECK(!column_names_.empty());
+}
+
+int Table::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (column_names_[i] == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Table::MustColumn(const std::string& column) const {
+  const int idx = ColumnIndex(column);
+  SSA_CHECK_MSG(idx >= 0, ("no column '" + column + "' in table '" + name_ +
+                           "'").c_str());
+  return idx;
+}
+
+void Table::InsertRow(std::vector<Value> values) {
+  SSA_CHECK(values.size() == column_names_.size());
+  rows_.push_back(std::move(values));
+}
+
+const Value& Table::At(int row, int col) const {
+  SSA_CHECK(row >= 0 && row < num_rows() && col >= 0 && col < num_columns());
+  return rows_[row][col];
+}
+
+void Table::Set(int row, int col, Value v) {
+  SSA_CHECK(row >= 0 && row < num_rows() && col >= 0 && col < num_columns());
+  rows_[row][col] = std::move(v);
+}
+
+Table* Database::AddTable(std::string name,
+                          std::vector<std::string> column_names) {
+  SSA_CHECK_MSG(tables_.find(name) == tables_.end(), "duplicate table");
+  auto table = std::make_unique<Table>(name, std::move(column_names));
+  Table* raw = table.get();
+  tables_.emplace(raw->name(), std::move(table));
+  return raw;
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace ssa

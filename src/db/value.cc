@@ -1,0 +1,29 @@
+#include "db/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ssa {
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case Type::kNull:
+      return "NULL";
+    case Type::kString:
+      return "'" + string_ + "'";
+    case Type::kNumber: {
+      if (number_ == std::floor(number_) && std::abs(number_) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number_));
+        return buf;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", number_);
+      return buf;
+    }
+  }
+  return "?";
+}
+
+}  // namespace ssa

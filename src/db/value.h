@@ -1,0 +1,67 @@
+#ifndef SSA_DB_VALUE_H_
+#define SSA_DB_VALUE_H_
+
+#include <string>
+
+#include "util/common.h"
+
+namespace ssa {
+
+/// A scalar cell value in the bidding-program tables: a number, a string
+/// (keyword text, bid-formula text) or NULL (empty-set aggregates).
+class Value {
+ public:
+  enum class Type { kNull, kNumber, kString };
+
+  Value() : type_(Type::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Number(double v) {
+    Value x;
+    x.type_ = Type::kNumber;
+    x.number_ = v;
+    return x;
+  }
+  static Value String(std::string s) {
+    Value x;
+    x.type_ = Type::kString;
+    x.string_ = std::move(s);
+    return x;
+  }
+  static Value Bool(bool b) { return Number(b ? 1.0 : 0.0); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+
+  double number() const {
+    SSA_CHECK_MSG(is_number(), "Value is not a number");
+    return number_;
+  }
+  const std::string& str() const {
+    SSA_CHECK_MSG(is_string(), "Value is not a string");
+    return string_;
+  }
+
+  /// SQL-ish truthiness: non-zero number; NULL and strings are not truthy.
+  bool Truthy() const { return is_number() && number_ != 0.0; }
+
+  /// Equality per SQL semantics-lite: NULL equals nothing (including NULL).
+  bool EqualsValue(const Value& o) const {
+    if (is_null() || o.is_null()) return false;
+    if (type_ != o.type_) return false;
+    return is_number() ? number_ == o.number_ : string_ == o.string_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  Type type_;
+  double number_ = 0.0;
+  std::string string_;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_DB_VALUE_H_

@@ -1,0 +1,110 @@
+#ifndef SSA_LANG_AST_H_
+#define SSA_LANG_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "db/value.h"
+
+namespace ssa {
+namespace lang {
+
+/// Expression AST of the bidding-program language. Expressions are scalar;
+/// the only nested query form is the scalar aggregate subquery
+/// (SELECT MAX(K.roi) FROM Keywords K WHERE ...), which Figure 5 uses and
+/// which keeps the language free of recursion as Section II-B prescribes.
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+enum class AggregateFn { kMax, kMin, kSum, kCount, kAvg };
+
+struct Expr {
+  enum class Kind {
+    kLiteral,    // number or string constant
+    kColumnRef,  // [qualifier.]name — column of a bound row, else scalar var
+    kUnaryMinus,
+    kNot,
+    kBinary,
+    kSubquery,  // scalar aggregate subquery
+  };
+
+  Kind kind;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  std::string qualifier;  // table name or alias; empty if unqualified
+  std::string column;
+
+  // kUnaryMinus / kNot
+  ExprPtr operand;
+
+  // kBinary
+  BinaryOp op = BinaryOp::kAdd;
+  ExprPtr lhs;
+  ExprPtr rhs;
+
+  // kSubquery
+  AggregateFn aggregate = AggregateFn::kMax;
+  std::string agg_qualifier;  // qualifier of the aggregated column
+  std::string agg_column;
+  std::string from_table;
+  std::string from_alias;  // empty if none
+  ExprPtr where;           // may be null
+};
+
+/// Statement AST.
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Assignment {
+  std::string column;
+  ExprPtr value;
+};
+
+struct Stmt {
+  enum class Kind { kUpdate, kIf };
+
+  Kind kind;
+
+  // kUpdate: UPDATE table SET col = expr, ... [WHERE expr]
+  std::string table;
+  std::vector<Assignment> assignments;
+  ExprPtr where;  // may be null
+
+  // kIf: IF c1 THEN body1 ELSEIF c2 THEN body2 ... [ELSE bodyN] ENDIF
+  std::vector<std::pair<ExprPtr, std::vector<StmtPtr>>> branches;
+  std::vector<StmtPtr> else_body;
+};
+
+/// CREATE TRIGGER name AFTER INSERT ON table { body } — the activation hook
+/// of Section II-B ("SQL triggers can be used to activate programs when an
+/// auction begins").
+struct TriggerDecl {
+  std::string name;
+  std::string table;
+  std::vector<StmtPtr> body;
+};
+
+}  // namespace lang
+}  // namespace ssa
+
+#endif  // SSA_LANG_AST_H_

@@ -1,0 +1,51 @@
+#ifndef SSA_LANG_INTERPRETER_H_
+#define SSA_LANG_INTERPRETER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "db/table.h"
+#include "lang/parser.h"
+#include "util/status.h"
+
+namespace ssa {
+namespace lang {
+
+/// Scalar variables visible to a bidding program — the automatically
+/// maintained quantities of Section II-B (amtSpent, time, targetSpendRate,
+/// ...). Unqualified identifiers that match no column of a bound row
+/// resolve here.
+struct ScalarEnv {
+  std::map<std::string, double> vars;
+
+  void Set(const std::string& name, double value) { vars[name] = value; }
+};
+
+/// Executes parsed bidding programs against a per-advertiser Database.
+/// SQL-lite semantics:
+///   * UPDATE evaluates all SET expressions against the pre-update row
+///     (simultaneous assignment), for every row satisfying WHERE;
+///   * scalar aggregate subqueries see the subquery row (via its alias or
+///     table name) plus any outer row (correlated refs like Bids.formula)
+///     plus the scalar environment;
+///   * comparisons/logic are numeric (0/1); NULL compares false; strings
+///     support = and <>;
+///   * MAX/MIN/AVG over an empty set yield NULL, SUM/COUNT yield 0.
+class Interpreter {
+ public:
+  /// Fires every trigger declared AFTER INSERT ON `table` (the Section II-B
+  /// activation model: the engine "inserts" the query, programs react).
+  static Status FireTriggers(const ParsedProgram& program,
+                             const std::string& table, Database* db,
+                             const ScalarEnv& scalars);
+
+  /// Runs one statement list (exposed for tests).
+  static Status ExecuteBody(const std::vector<StmtPtr>& body, Database* db,
+                            const ScalarEnv& scalars);
+};
+
+}  // namespace lang
+}  // namespace ssa
+
+#endif  // SSA_LANG_INTERPRETER_H_

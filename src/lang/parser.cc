@@ -1,0 +1,340 @@
+#include "lang/parser.h"
+
+#include <utility>
+
+#include "lang/lexer.h"
+
+namespace ssa {
+namespace lang {
+namespace {
+
+/// Recursive-descent parser. Exception-free: the first error latches and
+/// unwinds through null-checks.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ParsedProgram> Parse() {
+    ParsedProgram program;
+    while (ok_ && !AtEnd()) {
+      program.triggers.push_back(ParseTrigger());
+    }
+    if (!ok_) return Status::InvalidArgument(error_);
+    return program;
+  }
+
+ private:
+  // --- token helpers --------------------------------------------------------
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool CheckKeyword(const char* kw) const {
+    return Peek().kind == TokenKind::kKeyword && Peek().text == kw;
+  }
+  bool MatchKeyword(const char* kw) {
+    if (CheckKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  void ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) {
+      Fail(std::string("expected ") + kw + " at line " +
+           std::to_string(Peek().line));
+    }
+  }
+  bool Match(TokenKind kind) {
+    if (Peek().kind == kind) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  void Expect(TokenKind kind, const char* what) {
+    if (!Match(kind)) {
+      Fail(std::string("expected ") + what + " at line " +
+           std::to_string(Peek().line));
+    }
+  }
+  std::string ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      Fail(std::string("expected ") + what + " at line " +
+           std::to_string(Peek().line));
+      return "";
+    }
+    return Advance().text;
+  }
+
+  void Fail(std::string message) {
+    if (ok_) {
+      ok_ = false;
+      error_ = std::move(message);
+    }
+  }
+
+  // --- grammar --------------------------------------------------------------
+
+  TriggerDecl ParseTrigger() {
+    TriggerDecl trigger;
+    ExpectKeyword("CREATE");
+    ExpectKeyword("TRIGGER");
+    trigger.name = ExpectIdentifier("trigger name");
+    ExpectKeyword("AFTER");
+    ExpectKeyword("INSERT");
+    ExpectKeyword("ON");
+    trigger.table = ExpectIdentifier("table name");
+    Expect(TokenKind::kLBrace, "'{'");
+    while (ok_ && Peek().kind != TokenKind::kRBrace && !AtEnd()) {
+      trigger.body.push_back(ParseStmt());
+    }
+    Expect(TokenKind::kRBrace, "'}'");
+    return trigger;
+  }
+
+  StmtPtr ParseStmt() {
+    if (CheckKeyword("UPDATE")) return ParseUpdate();
+    if (CheckKeyword("IF")) return ParseIf();
+    Fail("expected UPDATE or IF at line " + std::to_string(Peek().line));
+    return nullptr;
+  }
+
+  StmtPtr ParseUpdate() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kUpdate;
+    ExpectKeyword("UPDATE");
+    stmt->table = ExpectIdentifier("table name");
+    ExpectKeyword("SET");
+    do {
+      Assignment a;
+      a.column = ExpectIdentifier("column name");
+      Expect(TokenKind::kEq, "'='");
+      a.value = ParseExpr();
+      stmt->assignments.push_back(std::move(a));
+    } while (ok_ && Match(TokenKind::kComma));
+    if (MatchKeyword("WHERE")) stmt->where = ParseExpr();
+    Expect(TokenKind::kSemicolon, "';'");
+    return stmt;
+  }
+
+  StmtPtr ParseIf() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kIf;
+    ExpectKeyword("IF");
+    for (;;) {
+      ExprPtr cond = ParseExpr();
+      ExpectKeyword("THEN");
+      std::vector<StmtPtr> body;
+      while (ok_ && !CheckKeyword("ELSEIF") && !CheckKeyword("ELSE") &&
+             !CheckKeyword("ENDIF") && !AtEnd()) {
+        body.push_back(ParseStmt());
+      }
+      stmt->branches.emplace_back(std::move(cond), std::move(body));
+      if (!MatchKeyword("ELSEIF")) break;
+    }
+    if (MatchKeyword("ELSE")) {
+      while (ok_ && !CheckKeyword("ENDIF") && !AtEnd()) {
+        stmt->else_body.push_back(ParseStmt());
+      }
+    }
+    ExpectKeyword("ENDIF");
+    Match(TokenKind::kSemicolon);  // optional, per Figure 5
+    return stmt;
+  }
+
+  ExprPtr ParseExpr() { return ParseOr(); }
+
+  ExprPtr ParseOr() {
+    ExprPtr e = ParseAnd();
+    while (ok_ && MatchKeyword("OR")) {
+      e = MakeBinary(BinaryOp::kOr, std::move(e), ParseAnd());
+    }
+    return e;
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr e = ParseNot();
+    while (ok_ && MatchKeyword("AND")) {
+      e = MakeBinary(BinaryOp::kAnd, std::move(e), ParseNot());
+    }
+    return e;
+  }
+
+  ExprPtr ParseNot() {
+    if (MatchKeyword("NOT")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kNot;
+      e->operand = ParseNot();
+      return e;
+    }
+    return ParseCmp();
+  }
+
+  ExprPtr ParseCmp() {
+    ExprPtr e = ParseAdd();
+    BinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = BinaryOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = BinaryOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = BinaryOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = BinaryOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = BinaryOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = BinaryOp::kGe;
+        break;
+      default:
+        return e;
+    }
+    Advance();
+    return MakeBinary(op, std::move(e), ParseAdd());
+  }
+
+  ExprPtr ParseAdd() {
+    ExprPtr e = ParseMul();
+    while (ok_) {
+      if (Match(TokenKind::kPlus)) {
+        e = MakeBinary(BinaryOp::kAdd, std::move(e), ParseMul());
+      } else if (Match(TokenKind::kMinus)) {
+        e = MakeBinary(BinaryOp::kSub, std::move(e), ParseMul());
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  ExprPtr ParseMul() {
+    ExprPtr e = ParseUnary();
+    while (ok_) {
+      if (Match(TokenKind::kStar)) {
+        e = MakeBinary(BinaryOp::kMul, std::move(e), ParseUnary());
+      } else if (Match(TokenKind::kSlash)) {
+        e = MakeBinary(BinaryOp::kDiv, std::move(e), ParseUnary());
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  ExprPtr ParseUnary() {
+    if (Match(TokenKind::kMinus)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnaryMinus;
+      e->operand = ParseUnary();
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  ExprPtr ParsePrimary() {
+    auto e = std::make_unique<Expr>();
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kNumber:
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = Value::Number(Advance().number);
+        return e;
+      case TokenKind::kString:
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = Value::String(Advance().text);
+        return e;
+      case TokenKind::kIdentifier: {
+        e->kind = Expr::Kind::kColumnRef;
+        e->column = Advance().text;
+        if (Match(TokenKind::kDot)) {
+          e->qualifier = std::move(e->column);
+          e->column = ExpectIdentifier("column name");
+        }
+        return e;
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        if (CheckKeyword("SELECT")) {
+          ExprPtr sub = ParseSelect();
+          Expect(TokenKind::kRParen, "')'");
+          return sub;
+        }
+        ExprPtr inner = ParseExpr();
+        Expect(TokenKind::kRParen, "')'");
+        return inner;
+      }
+      default:
+        Fail("expected expression at line " + std::to_string(tok.line));
+        e->kind = Expr::Kind::kLiteral;
+        e->literal = Value::Null();
+        return e;
+    }
+  }
+
+  ExprPtr ParseSelect() {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kSubquery;
+    ExpectKeyword("SELECT");
+    if (MatchKeyword("MAX")) {
+      e->aggregate = AggregateFn::kMax;
+    } else if (MatchKeyword("MIN")) {
+      e->aggregate = AggregateFn::kMin;
+    } else if (MatchKeyword("SUM")) {
+      e->aggregate = AggregateFn::kSum;
+    } else if (MatchKeyword("COUNT")) {
+      e->aggregate = AggregateFn::kCount;
+    } else if (MatchKeyword("AVG")) {
+      e->aggregate = AggregateFn::kAvg;
+    } else {
+      Fail("expected aggregate function at line " +
+           std::to_string(Peek().line));
+    }
+    Expect(TokenKind::kLParen, "'('");
+    e->agg_column = ExpectIdentifier("column");
+    if (Match(TokenKind::kDot)) {
+      e->agg_qualifier = std::move(e->agg_column);
+      e->agg_column = ExpectIdentifier("column name");
+    }
+    Expect(TokenKind::kRParen, "')'");
+    ExpectKeyword("FROM");
+    e->from_table = ExpectIdentifier("table name");
+    if (Peek().kind == TokenKind::kIdentifier) {
+      e->from_alias = Advance().text;  // optional alias, e.g. "Keywords K"
+    }
+    if (MatchKeyword("WHERE")) e->where = ParseExpr();
+    return e;
+  }
+
+  ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace
+
+StatusOr<ParsedProgram> ParseProgram(std::string_view source) {
+  StatusOr<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  return Parser(*std::move(tokens)).Parse();
+}
+
+}  // namespace lang
+}  // namespace ssa

@@ -1,0 +1,42 @@
+#ifndef SSA_LANG_PARSER_H_
+#define SSA_LANG_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.h"
+#include "util/status.h"
+
+namespace ssa {
+namespace lang {
+
+/// A parsed bidding program: a set of triggers (Figure 5 has one, firing
+/// AFTER INSERT ON Query).
+struct ParsedProgram {
+  std::vector<TriggerDecl> triggers;
+};
+
+/// Parses program source. Grammar (keywords case-insensitive):
+///
+///   program   := trigger*
+///   trigger   := CREATE TRIGGER ident AFTER INSERT ON ident '{' stmt* '}'
+///   stmt      := update ';' | if
+///   update    := UPDATE ident SET ident '=' expr (',' ident '=' expr)*
+///                [WHERE expr]
+///   if        := IF expr THEN stmt* (ELSEIF expr THEN stmt*)*
+///                [ELSE stmt*] ENDIF [';']
+///   expr      := or ; or := and (OR and)* ; and := not (AND not)*
+///   not       := NOT not | cmp
+///   cmp       := add (('='|'<>'|'<'|'<='|'>'|'>=') add)?
+///   add       := mul (('+'|'-') mul)* ; mul := unary (('*'|'/') unary)*
+///   unary     := '-' unary | primary
+///   primary   := number | string | ref | '(' (select | expr) ')'
+///   ref       := ident ['.' ident]
+///   select    := SELECT agg '(' ref ')' FROM ident [ident] [WHERE expr]
+///   agg       := MAX | MIN | SUM | COUNT | AVG
+StatusOr<ParsedProgram> ParseProgram(std::string_view source);
+
+}  // namespace lang
+}  // namespace ssa
+
+#endif  // SSA_LANG_PARSER_H_

@@ -1,0 +1,57 @@
+#include "lp/assignment_lp.h"
+
+#include <cmath>
+
+namespace ssa {
+
+LpProblem BuildAssignmentLp(const std::vector<double>& weights, int n, int k) {
+  SSA_CHECK(weights.size() == static_cast<size_t>(n) * k);
+  LpProblem lp;
+  lp.num_vars = n * k;  // x_ij at index i * k + j
+  lp.objective = weights;
+  lp.rows.reserve(n + k);
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<int, double>> row;
+    row.reserve(k);
+    for (int j = 0; j < k; ++j) row.emplace_back(i * k + j, 1.0);
+    lp.AddRow(std::move(row), 1.0);
+  }
+  for (int j = 0; j < k; ++j) {
+    std::vector<std::pair<int, double>> row;
+    row.reserve(n);
+    for (int i = 0; i < n; ++i) row.emplace_back(i * k + j, 1.0);
+    lp.AddRow(std::move(row), 1.0);
+  }
+  return lp;
+}
+
+StatusOr<Allocation> SolveAssignmentLp(const std::vector<double>& weights,
+                                       int n, int k) {
+  const LpProblem lp = BuildAssignmentLp(weights, n, k);
+  StatusOr<LpSolution> solution = SolveLpMax(lp);
+  if (!solution.ok()) return solution.status();
+
+  Allocation alloc = Allocation::Empty(n, k);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      const double x = solution->x[static_cast<size_t>(i) * k + j];
+      if (x > 0.5) {
+        if (std::abs(x - 1.0) > 1e-6) {
+          return Status::Internal("fractional assignment LP optimum");
+        }
+        SSA_CHECK_MSG(alloc.slot_to_advertiser[j] == -1,
+                      "slot constraint violated");
+        SSA_CHECK_MSG(alloc.advertiser_to_slot[i] == kNoSlot,
+                      "advertiser constraint violated");
+        alloc.slot_to_advertiser[j] = i;
+        alloc.advertiser_to_slot[i] = j;
+        alloc.total_weight += weights[static_cast<size_t>(i) * k + j];
+      } else if (x > 1e-6) {
+        return Status::Internal("fractional assignment LP optimum");
+      }
+    }
+  }
+  return alloc;
+}
+
+}  // namespace ssa

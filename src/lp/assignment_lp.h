@@ -1,0 +1,34 @@
+#ifndef SSA_LP_ASSIGNMENT_LP_H_
+#define SSA_LP_ASSIGNMENT_LP_H_
+
+#include <vector>
+
+#include "lp/simplex.h"
+#include "matching/allocation.h"
+#include "util/common.h"
+#include "util/status.h"
+
+namespace ssa {
+
+/// The winner-determination linear program (method "LP" of Section V):
+///
+///   maximize   sum_{i,j} w_ij x_ij
+///   s.t.       sum_j x_ij <= 1   for every advertiser i
+///              sum_i x_ij <= 1   for every slot j
+///              x_ij >= 0
+///
+/// The constraint matrix's rows are the maximal cliques of an interval-like
+/// perfect graph, so by Chvátal's theorem the LP has an integral optimum —
+/// the paper relies on this to use a plain LP solver as the naive baseline.
+LpProblem BuildAssignmentLp(const std::vector<double>& weights, int n, int k);
+
+/// Solves the assignment LP with the simplex method and extracts the slot
+/// allocation from the (guaranteed integral) optimum. `weights` is
+/// advertiser-major marginal weight. Returns kInternal if the optimum
+/// turned out fractional (would indicate a solver bug; asserted in tests).
+StatusOr<Allocation> SolveAssignmentLp(const std::vector<double>& weights,
+                                       int n, int k);
+
+}  // namespace ssa
+
+#endif  // SSA_LP_ASSIGNMENT_LP_H_

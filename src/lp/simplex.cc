@@ -1,0 +1,129 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/common.h"
+
+namespace ssa {
+
+void LpProblem::AddRow(std::vector<std::pair<int, double>> coefficients,
+                       double rhs) {
+  SSA_CHECK_MSG(rhs >= 0.0, "rhs must be non-negative");
+  for (const auto& [var, coef] : coefficients) {
+    SSA_CHECK(var >= 0 && var < num_vars);
+    (void)coef;
+  }
+  rows.push_back(Row{std::move(coefficients), rhs});
+}
+
+namespace {
+
+constexpr double kPivotEps = 1e-9;
+constexpr double kCostEps = 1e-9;
+
+}  // namespace
+
+StatusOr<LpSolution> SolveLpMax(const LpProblem& problem, int max_iters) {
+  const int nv = problem.num_vars;
+  const int m = static_cast<int>(problem.rows.size());
+  SSA_CHECK(static_cast<int>(problem.objective.size()) == nv);
+  const int total_cols = nv + m + 1;  // structural + slacks + rhs
+  const int rhs_col = nv + m;
+  if (max_iters < 0) max_iters = 200 * (m + nv) + 1000;
+
+  // Tableau rows 0..m; row 0 is the objective (reduced-cost) row.
+  std::vector<double> t(static_cast<size_t>(m + 1) * total_cols, 0.0);
+  auto at = [&](int r, int c) -> double& {
+    return t[static_cast<size_t>(r) * total_cols + c];
+  };
+
+  for (int j = 0; j < nv; ++j) at(0, j) = -problem.objective[j];
+  for (int i = 0; i < m; ++i) {
+    const LpProblem::Row& row = problem.rows[i];
+    for (const auto& [var, coef] : row.coefficients) at(i + 1, var) += coef;
+    at(i + 1, nv + i) = 1.0;  // slack
+    at(i + 1, rhs_col) = row.rhs;
+  }
+  std::vector<int> basis(m);
+  for (int i = 0; i < m; ++i) basis[i] = nv + i;
+
+  int iterations = 0;
+  int stall = 0;  // consecutive non-improving pivots -> switch to Bland
+  double last_obj = 0.0;
+  while (iterations < max_iters) {
+    // Pricing: Dantzig (most negative reduced cost) normally; Bland
+    // (first negative) once the objective stalls, which guarantees
+    // termination on degenerate vertices.
+    const bool bland = stall > 2 * (m + 2);
+    int enter = -1;
+    double best = -kCostEps;
+    for (int j = 0; j < nv + m; ++j) {
+      const double rc = at(0, j);
+      if (rc < best) {
+        enter = j;
+        if (bland) break;
+        best = rc;
+      }
+    }
+    if (enter == -1) {
+      // Optimal.
+      LpSolution sol;
+      sol.x.assign(nv, 0.0);
+      for (int i = 0; i < m; ++i) {
+        if (basis[i] < nv) sol.x[basis[i]] = at(i + 1, rhs_col);
+      }
+      sol.objective_value = at(0, rhs_col);
+      sol.iterations = iterations;
+      return sol;
+    }
+
+    // Ratio test with Bland tie-breaking on the leaving basic variable.
+    int leave = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int i = 1; i <= m; ++i) {
+      const double a = at(i, enter);
+      if (a > kPivotEps) {
+        const double ratio = at(i, rhs_col) / a;
+        if (ratio < best_ratio - 1e-12 ||
+            (ratio < best_ratio + 1e-12 && leave != -1 &&
+             basis[i - 1] < basis[leave - 1])) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+    }
+    if (leave == -1) {
+      return Status::FailedPrecondition("LP is unbounded");
+    }
+
+    // Pivot on (leave, enter).
+    const double pivot = at(leave, enter);
+    const double inv = 1.0 / pivot;
+    double* lrow = &at(leave, 0);
+    for (int c = 0; c < total_cols; ++c) lrow[c] *= inv;
+    lrow[enter] = 1.0;
+    for (int r = 0; r <= m; ++r) {
+      if (r == leave) continue;
+      const double factor = at(r, enter);
+      if (factor == 0.0) continue;
+      double* row = &at(r, 0);
+      for (int c = 0; c < total_cols; ++c) row[c] -= factor * lrow[c];
+      row[enter] = 0.0;
+    }
+    basis[leave - 1] = enter;
+    ++iterations;
+
+    const double obj = at(0, rhs_col);
+    if (obj > last_obj + 1e-12) {
+      stall = 0;
+      last_obj = obj;
+    } else {
+      ++stall;
+    }
+  }
+  return Status::Internal("simplex iteration limit exceeded");
+}
+
+}  // namespace ssa

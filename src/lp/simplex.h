@@ -1,0 +1,51 @@
+#ifndef SSA_LP_SIMPLEX_H_
+#define SSA_LP_SIMPLEX_H_
+
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ssa {
+
+/// A linear program in the inequality form the winner-determination LP uses:
+///
+///   maximize    c^T x
+///   subject to  A x <= b,   x >= 0,   b >= 0.
+///
+/// Rows are stored sparsely (the assignment constraint matrix has exactly
+/// two nonzeros per variable); the solver densifies into a tableau.
+struct LpProblem {
+  struct Row {
+    /// (variable index, coefficient) pairs.
+    std::vector<std::pair<int, double>> coefficients;
+    double rhs = 0.0;
+  };
+
+  int num_vars = 0;
+  std::vector<double> objective;  // size num_vars
+  std::vector<Row> rows;
+
+  /// Adds a constraint sum(coefficients) <= rhs; rhs must be >= 0 so the
+  /// all-slack basis is feasible.
+  void AddRow(std::vector<std::pair<int, double>> coefficients, double rhs);
+};
+
+/// Result of a successful solve.
+struct LpSolution {
+  std::vector<double> x;        // primal values, size num_vars
+  double objective_value = 0.0;
+  int iterations = 0;
+};
+
+/// Dense-tableau primal simplex with Dantzig pricing and a Bland-rule
+/// anti-cycling fallback. This is the from-scratch substitute for the
+/// paper's GLPK simplex (Section V, method "LP"): a general-purpose solver
+/// that is deliberately oblivious to the assignment structure. Returns
+/// kInternal if the iteration limit is hit and kFailedPrecondition if the
+/// LP is unbounded (cannot happen for the bounded assignment polytope).
+StatusOr<LpSolution> SolveLpMax(const LpProblem& problem, int max_iters = -1);
+
+}  // namespace ssa
+
+#endif  // SSA_LP_SIMPLEX_H_

@@ -1,0 +1,44 @@
+#ifndef SSA_MATCHING_ALLOCATION_H_
+#define SSA_MATCHING_ALLOCATION_H_
+
+#include <vector>
+
+#include "util/common.h"
+
+namespace ssa {
+
+/// A slot assignment: at most one slot per advertiser (the paper's
+/// monopolization rule) and at most one advertiser per slot. Slots may stay
+/// empty when every candidate's marginal weight is negative.
+struct Allocation {
+  /// slot_to_advertiser[j] = advertiser in slot j, or -1 for an empty slot.
+  std::vector<AdvertiserId> slot_to_advertiser;
+  /// advertiser_to_slot[i] = slot of advertiser i, or kNoSlot.
+  std::vector<SlotIndex> advertiser_to_slot;
+  /// Sum of matching weights of the chosen edges.
+  double total_weight = 0.0;
+
+  /// An empty allocation over n advertisers and k slots.
+  static Allocation Empty(int num_advertisers, int num_slots) {
+    Allocation a;
+    a.slot_to_advertiser.assign(num_slots, -1);
+    a.advertiser_to_slot.assign(num_advertisers, kNoSlot);
+    return a;
+  }
+
+  int num_slots() const { return static_cast<int>(slot_to_advertiser.size()); }
+  int num_advertisers() const {
+    return static_cast<int>(advertiser_to_slot.size());
+  }
+
+  /// Number of slots actually filled.
+  int NumAssigned() const {
+    int c = 0;
+    for (AdvertiserId a : slot_to_advertiser) c += (a >= 0);
+    return c;
+  }
+};
+
+}  // namespace ssa
+
+#endif  // SSA_MATCHING_ALLOCATION_H_

@@ -1,0 +1,54 @@
+#include "matching/brute_force.h"
+
+#include <cmath>
+
+namespace ssa {
+namespace {
+
+void Search(const std::vector<double>& weights, int n, int k, int slot,
+            std::vector<AdvertiserId>* current, std::vector<char>* used,
+            double weight_so_far, Allocation* best) {
+  if (slot == k) {
+    if (weight_so_far > best->total_weight) {
+      best->total_weight = weight_so_far;
+      best->slot_to_advertiser = *current;
+    }
+    return;
+  }
+  // Leave this slot empty.
+  (*current)[slot] = -1;
+  Search(weights, n, k, slot + 1, current, used, weight_so_far, best);
+  // Or fill it with any unused advertiser.
+  for (AdvertiserId i = 0; i < n; ++i) {
+    if ((*used)[i]) continue;
+    (*used)[i] = 1;
+    (*current)[slot] = i;
+    Search(weights, n, k, slot + 1, current, used,
+           weight_so_far + weights[static_cast<size_t>(i) * k + slot], best);
+    (*used)[i] = 0;
+  }
+  (*current)[slot] = -1;
+}
+
+}  // namespace
+
+Allocation BruteForceMatching(const std::vector<double>& weights, int n,
+                              int k) {
+  SSA_CHECK(weights.size() == static_cast<size_t>(n) * k);
+  SSA_CHECK_MSG(std::pow(n + 1.0, k) < 5e7,
+                "brute force instance too large; oracle use only");
+  Allocation best = Allocation::Empty(n, k);
+  best.total_weight = 0.0;  // empty assignment is always feasible
+  std::vector<AdvertiserId> current(k, -1);
+  std::vector<char> used(n, 0);
+  Search(weights, n, k, 0, &current, &used, 0.0, &best);
+  best.advertiser_to_slot.assign(n, kNoSlot);
+  for (int j = 0; j < k; ++j) {
+    if (best.slot_to_advertiser[j] >= 0) {
+      best.advertiser_to_slot[best.slot_to_advertiser[j]] = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace ssa

@@ -1,0 +1,18 @@
+#ifndef SSA_MATCHING_BRUTE_FORCE_H_
+#define SSA_MATCHING_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "matching/allocation.h"
+#include "util/common.h"
+
+namespace ssa {
+
+/// Exhaustive search over all (n+1)^k partial assignments (each slot takes
+/// one unused advertiser or stays empty). Exponential — test oracle only;
+/// asserts n and k are small enough to enumerate.
+Allocation BruteForceMatching(const std::vector<double>& weights, int n, int k);
+
+}  // namespace ssa
+
+#endif  // SSA_MATCHING_BRUTE_FORCE_H_

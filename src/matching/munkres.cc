@@ -1,0 +1,94 @@
+#include "matching/munkres.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ssa {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+// Advertiser-major classical Hungarian (Kuhn-Munkres with the shortest-
+// augmenting-path formulation): one phase per *advertiser*, each phase
+// relaxing over all n + k columns (k shared slot columns plus one private
+// zero-cost dummy column per advertiser, so "no slot" is representable).
+// Cost is minimized over the negated weights; the potentials (u, v) are the
+// classical duals. Every advertiser is processed and every phase touches
+// the full column set — the straightforward O(nk(n+k))-flavored usage the
+// paper benchmarks as method "H", in contrast to the slot-major kernel in
+// matching/hungarian.h that RH runs on the reduced graph.
+Allocation MunkresMatching(const std::vector<double>& weights, int n, int k) {
+  SSA_CHECK(weights.size() == static_cast<size_t>(n) * k);
+  Allocation result = Allocation::Empty(n, k);
+  if (k == 0 || n == 0) return result;
+
+  const int num_cols = k + n;  // slot columns 0..k-1, dummy of row i = k + i
+  auto cost = [&](int row, int col) -> double {
+    if (col < k) return -weights[static_cast<size_t>(row) * k + col];
+    return col - k == row ? 0.0 : kInf;  // only your own dummy
+  };
+
+  // 1-based arrays (index 0 = virtual source), e-maxx formulation.
+  std::vector<double> u(n + 1, 0.0), v(num_cols + 1, 0.0);
+  std::vector<int> p(num_cols + 1, 0), way(num_cols + 1, 0);
+  std::vector<double> minv(num_cols + 1);
+  std::vector<char> used(num_cols + 1);
+
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::fill(minv.begin(), minv.end(), kInf);
+    std::fill(used.begin(), used.end(), 0);
+    do {
+      used[j0] = 1;
+      const int i0 = p[j0];
+      int j1 = -1;
+      double delta = kInf;
+      for (int j = 1; j <= num_cols; ++j) {
+        if (used[j]) continue;
+        const double c = cost(i0 - 1, j - 1);
+        if (c < kInf) {
+          const double cur = c - u[i0] - v[j];
+          if (cur < minv[j]) {
+            minv[j] = cur;
+            way[j] = j0;
+          }
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      SSA_CHECK_MSG(j1 != -1 && delta < kInf, "Munkres: no augmenting column");
+      for (int j = 0; j <= num_cols; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  for (int col = 1; col <= k; ++col) {
+    const int row = p[col];
+    if (row == 0) continue;
+    const AdvertiserId adv = row - 1;
+    const SlotIndex slot = col - 1;
+    result.slot_to_advertiser[slot] = adv;
+    result.advertiser_to_slot[adv] = slot;
+    result.total_weight += weights[static_cast<size_t>(adv) * k + slot];
+  }
+  return result;
+}
+
+}  // namespace ssa

@@ -1,0 +1,28 @@
+#ifndef SSA_MATCHING_MUNKRES_H_
+#define SSA_MATCHING_MUNKRES_H_
+
+#include <vector>
+
+#include "matching/allocation.h"
+#include "util/common.h"
+
+namespace ssa {
+
+/// Maximum-weight matching via the *classical* cover-based Kuhn-Munkres
+/// algorithm applied the straightforward way the paper benchmarks as method
+/// "H" (Section III-D): advertisers are the left vertex set (rows), slots
+/// the right, and every advertiser must be assigned — to a slot or to a
+/// private zero-weight dummy column ("no slot"). Termination requires one
+/// starred zero per *advertiser*, so the cover/adjust machinery runs O(n)
+/// times over an n x (k+1) matrix: the O(nk(n+k)) cost the paper cites,
+/// super-linear in n. The reduced method RH exists precisely to avoid this;
+/// the fast slot-major JV kernel lives in matching/hungarian.h.
+///
+/// `weights` is advertiser-major, weights[i * k + j]. Returns an optimal
+/// allocation (slots may stay empty; negative-weight edges are never
+/// chosen).
+Allocation MunkresMatching(const std::vector<double>& weights, int n, int k);
+
+}  // namespace ssa
+
+#endif  // SSA_MATCHING_MUNKRES_H_

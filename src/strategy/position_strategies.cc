@@ -1,0 +1,93 @@
+#include "strategy/position_strategies.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ssa {
+
+PositionTargetStrategy::PositionTargetStrategy(SlotIndex target_slot,
+                                               Money max_bid, Money step)
+    : target_slot_(target_slot), max_bid_(max_bid), step_(step) {
+  SSA_CHECK(target_slot >= 0 && max_bid >= 0 && step > 0);
+}
+
+void PositionTargetStrategy::MakeBids(const Query& query,
+                                      const AdvertiserAccount& account,
+                                      BidsTable* bids) {
+  (void)account;
+  // Not displayed since the last auction? We are below every slot including
+  // the target: escalate.
+  if (last_won_time_ < query.time - 1) {
+    bid_ = std::min(max_bid_, bid_ + step_);
+  }
+  if (bid_ > 0) bids->AddBid(Formula::Click(), bid_);
+}
+
+void PositionTargetStrategy::OnOutcome(const Query& query,
+                                       const AdvertiserAccount& account,
+                                       SlotIndex slot, bool clicked,
+                                       bool purchased) {
+  (void)account;
+  (void)clicked;
+  (void)purchased;
+  last_won_time_ = query.time;
+  if (slot < target_slot_) {
+    // Overshot: slot 0 is the most prominent (and most expensive).
+    bid_ = std::max<Money>(0, bid_ - step_);
+  } else if (slot > target_slot_) {
+    bid_ = std::min(max_bid_, bid_ + step_);
+  }
+}
+
+AboveCompetitorStrategy::AboveCompetitorStrategy(AdvertiserId self,
+                                                 AdvertiserId rival,
+                                                 Money max_bid, Money step)
+    : self_(self), rival_(rival), max_bid_(max_bid), step_(step) {
+  SSA_CHECK(self != rival && max_bid >= 0 && step > 0);
+}
+
+void AboveCompetitorStrategy::MakeBids(const Query& query,
+                                       const AdvertiserAccount& account,
+                                       BidsTable* bids) {
+  (void)query;
+  (void)account;
+  if (bid_ > 0) bids->AddBid(Formula::Click(), bid_);
+}
+
+void AboveCompetitorStrategy::ObservePage(const AuctionOutcome& outcome) {
+  const auto& alloc = outcome.wd.allocation;
+  const SlotIndex mine = alloc.advertiser_to_slot[self_];
+  const SlotIndex theirs = alloc.advertiser_to_slot[rival_];
+  const bool above =
+      mine != kNoSlot && (theirs == kNoSlot || mine < theirs);
+  if (above) {
+    // Safely above: decay unless that would immediately drop us below.
+    if (theirs == kNoSlot || mine + 1 < theirs) {
+      bid_ = std::max<Money>(0, bid_ - step_);
+    }
+  } else {
+    bid_ = std::min(max_bid_, bid_ + step_);
+  }
+}
+
+BudgetedStrategy::BudgetedStrategy(std::unique_ptr<BiddingStrategy> inner,
+                                   Money budget)
+    : inner_(std::move(inner)), budget_(budget) {
+  SSA_CHECK(inner_ != nullptr && budget >= 0);
+}
+
+void BudgetedStrategy::MakeBids(const Query& query,
+                                const AdvertiserAccount& account,
+                                BidsTable* bids) {
+  if (account.amount_spent >= budget_) return;  // exhausted: sit out
+  inner_->MakeBids(query, account, bids);
+}
+
+void BudgetedStrategy::OnOutcome(const Query& query,
+                                 const AdvertiserAccount& account,
+                                 SlotIndex slot, bool clicked,
+                                 bool purchased) {
+  inner_->OnOutcome(query, account, slot, clicked, purchased);
+}
+
+}  // namespace ssa

@@ -1,0 +1,113 @@
+#include "strategy/program_strategy.h"
+
+#include <utility>
+
+namespace ssa {
+
+StatusOr<std::unique_ptr<ProgramStrategy>> ProgramStrategy::Create(
+    std::string_view source, std::vector<KeywordSpec> keywords) {
+  if (keywords.empty()) {
+    return Status::InvalidArgument("at least one keyword required");
+  }
+  StatusOr<lang::ParsedProgram> program = lang::ParseProgram(source);
+  if (!program.ok()) return program.status();
+  return std::unique_ptr<ProgramStrategy>(
+      new ProgramStrategy(*std::move(program), std::move(keywords)));
+}
+
+ProgramStrategy::ProgramStrategy(lang::ParsedProgram program,
+                                 std::vector<KeywordSpec> keywords)
+    : program_(std::move(program)), keywords_(std::move(keywords)) {
+  // Keywords table, one row per keyword (Figure 4 schema).
+  keywords_table_ = db_.AddTable(
+      "Keywords", {"text", "formula", "maxbid", "roi", "bid", "relevance"});
+  for (const KeywordSpec& spec : keywords_) {
+    keywords_table_->InsertRow({
+        Value::String(spec.text),
+        Value::String(spec.formula.ToString()),
+        Value::Number(0),  // maxbid: refreshed from the account each auction
+        Value::Number(0),  // roi: provider-maintained
+        Value::Number(0),  // bid: program state, starts at 0
+        Value::Number(0),  // relevance: per-query
+    });
+  }
+  // Bids table: one row per distinct formula, value rewritten per auction.
+  bids_table_ = db_.AddTable("Bids", {"formula", "value"});
+  for (const KeywordSpec& spec : keywords_) {
+    const std::string text = spec.formula.ToString();
+    if (formula_rows_.find(text) == formula_rows_.end()) {
+      formula_rows_[text] = bids_table_->num_rows();
+      bids_table_->InsertRow({Value::String(text), Value::Number(0)});
+      row_formulas_.push_back(spec.formula);
+    }
+  }
+}
+
+void ProgramStrategy::MakeBids(const Query& query,
+                               const AdvertiserAccount& account,
+                               BidsTable* bids) {
+  const int num_keywords = static_cast<int>(keywords_.size());
+  SSA_CHECK(account.num_keywords() == num_keywords);
+  SSA_CHECK(static_cast<int>(query.relevance.size()) == num_keywords);
+
+  // Refresh the provider-maintained columns and scalars (Section II-B: the
+  // provider automatically maintains commonly used variables).
+  const int col_maxbid = keywords_table_->ColumnIndex("maxbid");
+  const int col_roi = keywords_table_->ColumnIndex("roi");
+  const int col_relevance = keywords_table_->ColumnIndex("relevance");
+  for (int kw = 0; kw < num_keywords; ++kw) {
+    keywords_table_->Set(kw, col_maxbid, Value::Number(account.max_bid[kw]));
+    keywords_table_->Set(kw, col_roi, Value::Number(account.Roi(kw)));
+    keywords_table_->Set(kw, col_relevance,
+                         Value::Number(query.relevance[kw]));
+  }
+  lang::ScalarEnv scalars;
+  scalars.Set("amtSpent", account.amount_spent);
+  scalars.Set("time", static_cast<double>(query.time));
+  scalars.Set("targetSpendRate", account.target_spend_rate);
+  scalars.Set("queryKeyword", static_cast<double>(query.keyword));
+
+  // The engine "inserts" the query; AFTER INSERT ON Query triggers fire.
+  Status status =
+      lang::Interpreter::FireTriggers(program_, "Query", &db_, scalars);
+  SSA_CHECK_MSG(status.ok(), status.ToString().c_str());
+
+  // Read the program's Bids table back out.
+  const int col_value = bids_table_->ColumnIndex("value");
+  for (int row = 0; row < bids_table_->num_rows(); ++row) {
+    const Value& v = bids_table_->At(row, col_value);
+    const Money value = v.is_number() ? v.number() : 0.0;
+    bids->AddBid(row_formulas_[row], value < 0 ? 0 : value);
+  }
+}
+
+void ProgramStrategy::OnOutcome(const Query& query,
+                                const AdvertiserAccount& account,
+                                SlotIndex slot, bool clicked, bool purchased) {
+  lang::ScalarEnv scalars;
+  scalars.Set("amtSpent", account.amount_spent);
+  scalars.Set("time", static_cast<double>(query.time));
+  scalars.Set("targetSpendRate", account.target_spend_rate);
+  scalars.Set("queryKeyword", static_cast<double>(query.keyword));
+  scalars.Set("wonSlot", static_cast<double>(slot + 1));
+
+  Status status =
+      lang::Interpreter::FireTriggers(program_, "Slot", &db_, scalars);
+  SSA_CHECK_MSG(status.ok(), status.ToString().c_str());
+  if (clicked) {
+    status = lang::Interpreter::FireTriggers(program_, "Click", &db_, scalars);
+    SSA_CHECK_MSG(status.ok(), status.ToString().c_str());
+  }
+  if (purchased) {
+    status =
+        lang::Interpreter::FireTriggers(program_, "Purchase", &db_, scalars);
+    SSA_CHECK_MSG(status.ok(), status.ToString().c_str());
+  }
+}
+
+Money ProgramStrategy::TentativeBid(int kw) const {
+  SSA_CHECK(kw >= 0 && kw < static_cast<int>(keywords_.size()));
+  return keywords_table_->At(kw, "bid").number();
+}
+
+}  // namespace ssa

@@ -1,0 +1,75 @@
+#ifndef SSA_STRATEGY_PROGRAM_STRATEGY_H_
+#define SSA_STRATEGY_PROGRAM_STRATEGY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "lang/interpreter.h"
+#include "strategy/strategy.h"
+#include "util/status.h"
+
+namespace ssa {
+
+/// A bidding strategy defined by a program in the Section II-B language.
+/// The advertiser's private database holds the Figure 4 Keywords table
+///
+///   Keywords(text, formula, maxbid, roi, bid, relevance)
+///
+/// and a Bids(formula, value) table with one row per distinct formula. Per
+/// auction, the search provider refreshes the provider-maintained columns
+/// (roi, relevance, maxbid) and scalars (amtSpent, time, targetSpendRate),
+/// fires the program's AFTER INSERT ON Query triggers, and reads the Bids
+/// table back out. The `bid` column is program state and persists across
+/// auctions.
+///
+/// Running the verbatim Figure 5 Equalize-ROI program through this class is
+/// behaviorally identical to the native RoiStrategy — the
+/// `lang_equivalence_test` locks that in.
+class ProgramStrategy : public BiddingStrategy {
+ public:
+  /// Keyword metadata: display text and the bid formula per keyword.
+  struct KeywordSpec {
+    std::string text;
+    Formula formula;
+  };
+
+  /// Parses `source` and sets up the private tables. Returns an error on
+  /// parse failure or if the program references unknown tables/columns at
+  /// first execution.
+  static StatusOr<std::unique_ptr<ProgramStrategy>> Create(
+      std::string_view source, std::vector<KeywordSpec> keywords);
+
+  void MakeBids(const Query& query, const AdvertiserAccount& account,
+                BidsTable* bids) override;
+
+  /// Section II-B notification triggers: receiving a slot fires AFTER
+  /// INSERT ON Slot; a click fires AFTER INSERT ON Click; a purchase fires
+  /// AFTER INSERT ON Purchase. The handlers see the same tables and scalars
+  /// as the bid trigger, plus `wonSlot` (1-based slot received).
+  void OnOutcome(const Query& query, const AdvertiserAccount& account,
+                 SlotIndex slot, bool clicked, bool purchased) override;
+
+  /// Current tentative bid column (for tests).
+  Money TentativeBid(int kw) const;
+
+ private:
+  ProgramStrategy(lang::ParsedProgram program,
+                  std::vector<KeywordSpec> keywords);
+
+  lang::ParsedProgram program_;
+  std::vector<KeywordSpec> keywords_;
+  Database db_;
+  Table* keywords_table_ = nullptr;
+  Table* bids_table_ = nullptr;
+  /// Row index in bids_table_ for each distinct formula string.
+  std::map<std::string, int> formula_rows_;
+  /// Parsed Formula per bids_table_ row.
+  std::vector<Formula> row_formulas_;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_STRATEGY_PROGRAM_STRATEGY_H_

@@ -1,0 +1,72 @@
+#include "strategy/roi_strategy.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ssa {
+
+RoiStrategy::RoiStrategy(std::vector<Formula> keyword_formulas)
+    : keyword_formulas_(std::move(keyword_formulas)),
+      bids_(keyword_formulas_.size(), 0.0) {
+  SSA_CHECK(!keyword_formulas_.empty());
+}
+
+void RoiStrategy::MakeBids(const Query& query,
+                           const AdvertiserAccount& account, BidsTable* bids) {
+  const int num_keywords = static_cast<int>(bids_.size());
+  SSA_CHECK(account.num_keywords() == num_keywords);
+  SSA_CHECK(static_cast<int>(query.relevance.size()) == num_keywords);
+
+  // Tentative-bid update (lines 3-20 of Figure 5). The subqueries range
+  // over *all* keywords; the relevance predicate restricts the UPDATE to
+  // keywords relevant to this query.
+  double max_roi = account.Roi(0), min_roi = account.Roi(0);
+  for (int kw = 1; kw < num_keywords; ++kw) {
+    const double roi = account.Roi(kw);
+    max_roi = std::max(max_roi, roi);
+    min_roi = std::min(min_roi, roi);
+  }
+  if (account.Underspending(query.time)) {
+    for (int kw = 0; kw < num_keywords; ++kw) {
+      if (query.relevance[kw] > 0 && account.Roi(kw) == max_roi &&
+          bids_[kw] < account.max_bid[kw]) {
+        bids_[kw] += 1;
+      }
+    }
+  } else if (account.Overspending(query.time)) {
+    for (int kw = 0; kw < num_keywords; ++kw) {
+      if (query.relevance[kw] > 0 && account.Roi(kw) == min_roi &&
+          bids_[kw] > 0) {
+        bids_[kw] -= 1;
+      }
+    }
+  }
+
+  // Bids-table update (lines 22-27): one row per distinct formula, value =
+  // sum of tentative bids of keywords with relevance > 0.7 carrying it.
+  // Formulas are grouped by structural equality (the keyword universe is
+  // small, so the quadratic grouping is irrelevant).
+  for (int kw = 0; kw < num_keywords; ++kw) {
+    if (query.relevance[kw] <= 0.7) continue;
+    bool merged = false;
+    for (size_t row = 0; row < bids->rows().size(); ++row) {
+      if (bids->rows()[row].formula.StructurallyEquals(
+              keyword_formulas_[kw])) {
+        // Rebuild the row with the summed value (BidsTable rows are
+        // immutable by design; re-adding keeps the interface minimal).
+        BidsTable updated;
+        for (size_t r = 0; r < bids->rows().size(); ++r) {
+          updated.AddBid(bids->rows()[r].formula,
+                         bids->rows()[r].value +
+                             (r == row ? bids_[kw] : 0.0));
+        }
+        *bids = std::move(updated);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) bids->AddBid(keyword_formulas_[kw], bids_[kw]);
+  }
+}
+
+}  // namespace ssa

@@ -1,0 +1,52 @@
+#ifndef SSA_STRATEGY_ROI_STRATEGY_H_
+#define SSA_STRATEGY_ROI_STRATEGY_H_
+
+#include <vector>
+
+#include "core/formula.h"
+#include "strategy/strategy.h"
+#include "util/common.h"
+
+namespace ssa {
+
+/// Native implementation of the ROI-equalizing heuristic of Section II-C /
+/// Figure 5 (after [Borgs et al., WWW'07]), the strategy every bidder runs
+/// in the paper's experiments. Per auction, with t the auction number and
+/// kw the queried keyword (relevance 1, all others 0):
+///
+///   if amount_spent < target_rate * t              (underspending)
+///     and roi(kw) == max_kw' roi(kw') and bid[kw] < max_bid[kw]:
+///       bid[kw] += 1
+///   else if amount_spent > target_rate * t         (overspending)
+///     and roi(kw) == min_kw' roi(kw') and bid[kw] > 0:
+///       bid[kw] -= 1
+///
+/// then emit one Bids row per distinct keyword formula, whose value is the
+/// sum of tentative bids of sufficiently relevant keywords (relevance >
+/// 0.7) carrying that formula — with one keyword per query this is a single
+/// `Click -> bid[kw]` row.
+///
+/// Tentative bids are integral cents, so all boundary comparisons
+/// (bid < max_bid, bid > 0) are exact; the logical-update engine
+/// (strategy/logical_roi.h) replicates these semantics bit-for-bit, which
+/// the equivalence tests assert.
+class RoiStrategy : public BiddingStrategy {
+ public:
+  /// `keyword_formulas[kw]` is the formula keyword kw's bid attaches to
+  /// (plain Click in the Section V workload). Tentative bids start at 0.
+  explicit RoiStrategy(std::vector<Formula> keyword_formulas);
+
+  void MakeBids(const Query& query, const AdvertiserAccount& account,
+                BidsTable* bids) override;
+
+  /// Current tentative bid per keyword (exposed for the equivalence tests).
+  const std::vector<Money>& tentative_bids() const { return bids_; }
+
+ private:
+  std::vector<Formula> keyword_formulas_;
+  std::vector<Money> bids_;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_STRATEGY_ROI_STRATEGY_H_

@@ -1,0 +1,45 @@
+#ifndef SSA_STRATEGY_STRATEGY_H_
+#define SSA_STRATEGY_STRATEGY_H_
+
+#include "auction/account.h"
+#include "auction/query_gen.h"
+#include "core/bids_table.h"
+
+namespace ssa {
+
+/// A dynamic bidding strategy — the paper's "bidding program" (Section II-B)
+/// seen as an abstract interface. Each time a user search triggers an
+/// auction, the program runs with access to the query (shared, read-only)
+/// and its own account variables (private), and emits a Bids table.
+///
+/// Implementations: RoiStrategy (native C++ version of Figure 5),
+/// ProgramStrategy (interprets a program written in the mini-SQL bidding
+/// language), plus fixed/test strategies. Strategies of different
+/// advertisers never share mutable state, so program evaluation is
+/// embarrassingly parallel — the property Section II-B calls out.
+class BiddingStrategy {
+ public:
+  virtual ~BiddingStrategy() = default;
+
+  /// Computes this advertiser's bids for the current auction. `bids` arrives
+  /// cleared; the strategy may mutate its own private state.
+  virtual void MakeBids(const Query& query, const AdvertiserAccount& account,
+                        BidsTable* bids) = 0;
+
+  /// Outcome notification (Section II-B: "SQL triggers can be used ... to
+  /// notify programs if they received a slot, click, or purchase"). Called
+  /// by the engine after each auction the advertiser won; `slot` is the
+  /// 0-based position received. Default: ignore.
+  virtual void OnOutcome(const Query& query, const AdvertiserAccount& account,
+                         SlotIndex slot, bool clicked, bool purchased) {
+    (void)query;
+    (void)account;
+    (void)slot;
+    (void)clicked;
+    (void)purchased;
+  }
+};
+
+}  // namespace ssa
+
+#endif  // SSA_STRATEGY_STRATEGY_H_

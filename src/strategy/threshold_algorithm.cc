@@ -1,0 +1,73 @@
+#include "strategy/threshold_algorithm.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace ssa {
+
+ThresholdTopKResult ThresholdTopK(
+    const std::vector<SortedAccessList*>& lists,
+    const std::function<double(int32_t)>& score,
+    const std::function<double(const std::vector<double>&)>& bound, int k,
+    int32_t universe_size) {
+  SSA_CHECK(k >= 1 && !lists.empty() && universe_size >= 0);
+  ThresholdTopKResult result;
+
+  // Min-heap of the current top-k by strict (score, id) pair order — the
+  // identical rule the eager per-slot heaps use, so both pipelines keep the
+  // same objects even on score ties.
+  using Entry = std::pair<double, int32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+
+  std::vector<char> seen(universe_size, 0);
+  std::vector<double> cursors(lists.size(),
+                              std::numeric_limits<double>::infinity());
+  std::vector<char> exhausted(lists.size(), 0);
+  size_t num_exhausted = 0;
+
+  while (num_exhausted < lists.size()) {
+    for (size_t l = 0; l < lists.size(); ++l) {
+      if (exhausted[l]) continue;
+      int32_t id;
+      double value;
+      if (!lists[l]->Next(&id, &value)) {
+        exhausted[l] = 1;
+        ++num_exhausted;
+        continue;
+      }
+      ++result.sorted_accesses;
+      SSA_CHECK_MSG(value <= cursors[l] + 1e-12,
+                    "sorted access list out of order");
+      cursors[l] = value;
+      SSA_CHECK(id >= 0 && id < universe_size);
+      if (!seen[id]) {
+        seen[id] = 1;
+        ++result.random_accesses;
+        const double s = score(id);
+        if (s > 0.0) {
+          if (static_cast<int>(heap.size()) < k) {
+            heap.emplace(s, id);
+          } else if (heap.top() < Entry(s, id)) {
+            heap.pop();
+            heap.emplace(s, id);
+          }
+        }
+      }
+    }
+    // Threshold test: no unseen object can beat tau.
+    const double tau = bound(cursors);
+    if (static_cast<int>(heap.size()) >= k && heap.top().first >= tau) break;
+    if (tau <= 0.0) break;  // only non-positive scores remain unseen
+  }
+
+  result.top.reserve(heap.size());
+  while (!heap.empty()) {
+    result.top.push_back(heap.top());
+    heap.pop();
+  }
+  std::reverse(result.top.begin(), result.top.end());
+  return result;
+}
+
+}  // namespace ssa

@@ -1,0 +1,76 @@
+#ifndef SSA_STRATEGY_THRESHOLD_ALGORITHM_H_
+#define SSA_STRATEGY_THRESHOLD_ALGORITHM_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ssa {
+
+/// A list supporting *sorted access* in Fagin's sense: objects streamed in
+/// descending attribute order. Used by the Threshold Algorithm
+/// (Section IV-A) to find the per-slot top-k bidders without touching every
+/// advertiser.
+class SortedAccessList {
+ public:
+  virtual ~SortedAccessList() = default;
+  /// Yields the next (object id, attribute value) pair in descending value
+  /// order; returns false when exhausted.
+  virtual bool Next(int32_t* id, double* value) = 0;
+};
+
+/// Adapter over a pre-sorted (value desc) vector of (value, id).
+class VectorSortedList : public SortedAccessList {
+ public:
+  explicit VectorSortedList(std::vector<std::pair<double, int32_t>> entries)
+      : entries_(std::move(entries)) {}
+  bool Next(int32_t* id, double* value) override {
+    if (pos_ >= entries_.size()) return false;
+    *value = entries_[pos_].first;
+    *id = entries_[pos_].second;
+    ++pos_;
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<double, int32_t>> entries_;
+  size_t pos_ = 0;
+};
+
+/// Result of a Threshold Algorithm run.
+struct ThresholdTopKResult {
+  /// Top-k objects as (score, id), descending (ties by id ascending).
+  std::vector<std::pair<double, int32_t>> top;
+  /// Number of sorted accesses performed — the instance-optimality metric;
+  /// sublinear in n on favorable inputs, which bench_threshold measures.
+  int64_t sorted_accesses = 0;
+  /// Number of random accesses (score probes).
+  int64_t random_accesses = 0;
+};
+
+/// Fagin-Lotem-Naor Threshold Algorithm: finds the k objects maximizing a
+/// monotone score given sorted access to each attribute list and random
+/// access to full scores.
+///
+///   * `lists`: one sorted-access stream per attribute.
+///   * `score(id)`: the full (monotone) aggregate for one object.
+///   * `bound(cursor_values)`: the same aggregate applied to the last value
+///     seen in each list — the threshold tau; no unseen object can score
+///     above it.
+///   * `universe_size`: id range [0, universe_size) for the seen-set.
+///
+/// Stops as soon as k objects score >= tau (or all lists are exhausted).
+/// Only strictly positive scores are returned (a zero-score bidder can never
+/// displace "leave the slot empty").
+ThresholdTopKResult ThresholdTopK(
+    const std::vector<SortedAccessList*>& lists,
+    const std::function<double(int32_t)>& score,
+    const std::function<double(const std::vector<double>&)>& bound, int k,
+    int32_t universe_size);
+
+}  // namespace ssa
+
+#endif  // SSA_STRATEGY_THRESHOLD_ALGORITHM_H_

@@ -1,0 +1,46 @@
+#ifndef SSA_UTIL_COMMON_H_
+#define SSA_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+/// Basic shared types for the sponsored-search-auction library.
+namespace ssa {
+
+/// Identifies an advertiser (0-based dense index into the current auction's
+/// advertiser population).
+using AdvertiserId = int32_t;
+
+/// Identifies a slot on the search-result page. Slot 0 is the topmost,
+/// most prominent slot. `kNoSlot` means the advertiser is unassigned.
+using SlotIndex = int32_t;
+
+inline constexpr SlotIndex kNoSlot = -1;
+
+/// Monetary amounts, in cents (the paper quotes bids in cents).
+using Money = double;
+
+}  // namespace ssa
+
+/// Invariant check that stays on in release builds. The library follows the
+/// no-exceptions convention; violated invariants abort with a location.
+#define SSA_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SSA_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define SSA_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "SSA_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // SSA_UTIL_COMMON_H_

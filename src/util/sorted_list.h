@@ -1,0 +1,92 @@
+#ifndef SSA_UTIL_SORTED_LIST_H_
+#define SSA_UTIL_SORTED_LIST_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ssa {
+
+/// An (id, key) list kept sorted by key descending (ties broken by id
+/// ascending, for determinism). Backing store is a contiguous vector:
+/// insert/erase are O(n) memmoves, which is fast in practice for the list
+/// sizes the logical-update engine maintains (Section IV-B), and sorted
+/// scans — what the Threshold Algorithm consumes — are cache-friendly.
+///
+/// Keys are stored values; callers that implement the paper's "logical
+/// update" keep a separate adjustment variable and interpret the effective
+/// key as `stored + adjustment` (the ordering is invariant under a shared
+/// adjustment, which is the whole point of Section IV-B).
+class SortedKeyList {
+ public:
+  struct Entry {
+    double key;  // stored key (descending order)
+    int32_t id;
+  };
+
+  /// True before `id` would order before `(key, id)` pairs of others.
+  static bool Before(const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key > b.key;
+    return a.id < b.id;
+  }
+
+  /// Inserts (id, key). The id must not already be present.
+  void Insert(int32_t id, double key) {
+    Entry e{key, id};
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), e, Before);
+    entries_.insert(it, e);
+  }
+
+  /// Removes the entry for `id` whose stored key is `key`. The pair must be
+  /// present; callers track stored keys exactly (they are integral cents
+  /// adjusted by integral deltas, so equality is exact).
+  void Erase(int32_t id, double key) {
+    Entry e{key, id};
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), e, Before);
+    SSA_CHECK_MSG(it != entries_.end() && it->id == id && it->key == key,
+                  "SortedKeyList::Erase: entry not found");
+    entries_.erase(it);
+  }
+
+  /// Bulk initialization: takes ownership of an already-sorted entry vector
+  /// (checked). O(n), versus n * O(n) incremental inserts.
+  void AssignSorted(std::vector<Entry> entries) {
+    for (size_t i = 1; i < entries.size(); ++i) {
+      SSA_CHECK_MSG(Before(entries[i - 1], entries[i]),
+                    "AssignSorted: entries not sorted");
+    }
+    entries_ = std::move(entries);
+  }
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  /// Entry with the largest key (first in descending order).
+  const Entry& Top() const {
+    SSA_CHECK(!entries_.empty());
+    return entries_.front();
+  }
+
+  /// Entry with the smallest key.
+  const Entry& Bottom() const {
+    SSA_CHECK(!entries_.empty());
+    return entries_.back();
+  }
+
+  /// i-th entry in descending key order.
+  const Entry& At(size_t i) const {
+    SSA_CHECK(i < entries_.size());
+    return entries_[i];
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_UTIL_SORTED_LIST_H_

@@ -1,0 +1,46 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/common.h"
+
+namespace ssa {
+
+void SummaryStats::Add(double x) {
+  if (samples_.empty()) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  samples_.push_back(x);
+  sorted_ = false;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(samples_.size());
+  m2_ += delta * (x - mean_);
+}
+
+double SummaryStats::variance() const {
+  if (samples_.size() < 2) return 0.0;
+  return m2_ / static_cast<double>(samples_.size() - 1);
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+double SummaryStats::Percentile(double p) const {
+  SSA_CHECK(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace ssa

@@ -1,0 +1,41 @@
+#ifndef SSA_UTIL_STATS_H_
+#define SSA_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ssa {
+
+/// Online accumulator for scalar samples: count, mean, variance (Welford),
+/// min/max, and percentiles (kept exactly; sample counts here are small —
+/// per-auction timings). Used by benchmark harnesses and engine statistics.
+class SummaryStats {
+ public:
+  /// Adds one sample.
+  void Add(double x);
+
+  size_t count() const { return samples_.size(); }
+  double mean() const { return count() == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Exact percentile via nearest-rank on the sorted samples; p in [0,100].
+  double Percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_UTIL_STATS_H_

@@ -1,0 +1,52 @@
+#ifndef SSA_UTIL_THREAD_POOL_H_
+#define SSA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ssa {
+
+/// Fixed-size worker pool used by the parallel winner-determination paths
+/// (Section III-E tree aggregation, Section III-F 2^k heavyweight subsets).
+/// Tasks are arbitrary std::function<void()>; WaitIdle() provides the
+/// per-phase barrier the tree network needs.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues a task for execution by any worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void WaitIdle();
+
+  /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_UTIL_THREAD_POOL_H_

@@ -1,0 +1,31 @@
+#ifndef SSA_UTIL_TIMER_H_
+#define SSA_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ssa {
+
+/// Simple monotonic wall-clock timer used by the benchmark harnesses.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_UTIL_TIMER_H_

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "core/above_bids.h"
+
+namespace ssa {
+namespace {
+
+TEST(AboveBidsTest, RevenueSemantics) {
+  // Bid: advertiser 0 pays 5 if placed above advertiser 1.
+  const std::vector<AboveBid> bids = {{0, 1, 5}};
+  // 0 above 1.
+  EXPECT_DOUBLE_EQ(AboveBidsRevenue({0, 1}, 3, bids), 5.0);
+  // 1 above 0.
+  EXPECT_DOUBLE_EQ(AboveBidsRevenue({1, 0}, 3, bids), 0.0);
+  // 0 placed, 1 unassigned: still "above".
+  EXPECT_DOUBLE_EQ(AboveBidsRevenue({0, -1}, 3, bids), 5.0);
+  // 0 unassigned: bidder never pays.
+  EXPECT_DOUBLE_EQ(AboveBidsRevenue({1, -1}, 3, bids), 0.0);
+  EXPECT_DOUBLE_EQ(AboveBidsRevenue({-1, -1}, 3, bids), 0.0);
+}
+
+TEST(AboveBidsTest, ExhaustiveFindsMutualBidOptimum) {
+  // 0 pays 5 to be above 1; 1 pays 3 to be above 0 — only one can win.
+  const std::vector<AboveBid> bids = {{0, 1, 5}, {1, 0, 3}};
+  const AboveWdResult r = SolveAboveBidsExhaustive(2, 2, bids);
+  EXPECT_DOUBLE_EQ(r.revenue, 5.0);
+}
+
+TEST(AboveBidsTest, ExhaustiveHandlesEmptyBids) {
+  const AboveWdResult r = SolveAboveBidsExhaustive(3, 2, {});
+  EXPECT_DOUBLE_EQ(r.revenue, 0.0);
+}
+
+TEST(AboveBidsTest, FeedbackArcEncoding) {
+  // Cycle 0 -> 1 -> 2 -> 0 with weights 4, 4, 4 and k = 3: any ordering
+  // breaks exactly one arc, so the optimum keeps 8.
+  const auto bids = EncodeFeedbackArcInstance({{0, 1, 4.0}, {1, 2, 4.0},
+                                               {2, 0, 4.0}});
+  const AboveWdResult r = SolveAboveBidsExhaustive(3, 3, bids);
+  EXPECT_DOUBLE_EQ(r.revenue, 8.0);
+}
+
+TEST(AboveBidsTest, GreedyIsFeasibleAndAtMostOptimal) {
+  const auto bids = EncodeFeedbackArcInstance(
+      {{0, 1, 4.0}, {1, 2, 4.0}, {2, 0, 4.0}, {0, 2, 1.0}});
+  const AboveWdResult greedy = SolveAboveBidsGreedy(3, 3, bids);
+  const AboveWdResult exact = SolveAboveBidsExhaustive(3, 3, bids);
+  EXPECT_LE(greedy.revenue, exact.revenue + 1e-12);
+  // Greedy revenue must match a re-evaluation of its own ordering.
+  EXPECT_DOUBLE_EQ(greedy.revenue,
+                   AboveBidsRevenue(greedy.slot_to_advertiser, 3, bids));
+}
+
+// Randomized: greedy never beats exhaustive, and exhaustive revenue is
+// monotone in k (more slots cannot hurt). On small instances greedy often
+// matches; Theorem 3 (APX-hardness) says no polynomial algorithm closes the
+// gap in general.
+TEST(AboveBidsTest, RandomGreedyNeverBeatsExhaustive) {
+  uint64_t state = 12345;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (state >> 33) % 10;
+  };
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<AboveBid> bids;
+    const int n = 4;
+    for (int u = 0; u < n; ++u) {
+      for (int v = 0; v < n; ++v) {
+        if (u != v && next() < 5) {
+          bids.push_back({u, v, static_cast<Money>(1 + next())});
+        }
+      }
+    }
+    const AboveWdResult greedy = SolveAboveBidsGreedy(n, 2, bids);
+    const AboveWdResult exact2 = SolveAboveBidsExhaustive(n, 2, bids);
+    const AboveWdResult exact3 = SolveAboveBidsExhaustive(n, 3, bids);
+    EXPECT_LE(greedy.revenue, exact2.revenue + 1e-12);
+    EXPECT_LE(exact2.revenue, exact3.revenue + 1e-12);  // monotone in k
+  }
+}
+
+}  // namespace
+}  // namespace ssa

@@ -1,0 +1,164 @@
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "auction/auction_engine.h"
+#include "strategy/roi_strategy.h"
+
+namespace ssa {
+namespace {
+
+std::vector<std::unique_ptr<BiddingStrategy>> RoiStrategies(
+    const Workload& workload) {
+  std::vector<std::unique_ptr<BiddingStrategy>> strategies;
+  for (int i = 0; i < workload.config.num_advertisers; ++i) {
+    strategies.push_back(
+        std::make_unique<RoiStrategy>(workload.keyword_formulas));
+  }
+  return strategies;
+}
+
+WorkloadConfig SmallConfig(uint64_t seed = 1) {
+  WorkloadConfig config;
+  config.num_advertisers = 40;
+  config.num_slots = 5;
+  config.num_keywords = 4;
+  config.seed = seed;
+  return config;
+}
+
+TEST(WorkloadTest, PaperDistributions) {
+  WorkloadConfig config;
+  config.num_advertisers = 200;
+  config.seed = 3;
+  Workload w = MakePaperWorkload(config);
+  ASSERT_EQ(w.accounts.size(), 200u);
+  for (const AdvertiserAccount& a : w.accounts) {
+    Money max_value = 0;
+    for (int kw = 0; kw < config.num_keywords; ++kw) {
+      EXPECT_GE(a.value_per_click[kw], 0);
+      EXPECT_LE(a.value_per_click[kw], 50);
+      EXPECT_EQ(a.value_per_click[kw], a.max_bid[kw]);
+      max_value = std::max(max_value, a.value_per_click[kw]);
+    }
+    EXPECT_GT(max_value, 0) << "every bidder has a non-zero click value";
+    EXPECT_GE(a.target_spend_rate, 1.0);
+    EXPECT_LE(a.target_spend_rate, static_cast<double>(max_value));
+  }
+}
+
+TEST(AuctionEngineTest, RunsAndMaintainsInvariants) {
+  Workload workload = MakePaperWorkload(SmallConfig());
+  EngineConfig config;
+  config.seed = 7;
+  AuctionEngine engine(config, workload, RoiStrategies(workload));
+
+  Money revenue = 0;
+  for (int t = 0; t < 200; ++t) {
+    const AuctionOutcome& out = engine.RunAuction();
+    // Winners occupy distinct slots, each advertiser at most once.
+    std::set<AdvertiserId> seen;
+    for (const UserEvent& e : out.events) {
+      EXPECT_TRUE(seen.insert(e.advertiser).second);
+      EXPECT_GE(e.slot, 0);
+      EXPECT_LT(e.slot, 5);
+      EXPECT_GE(e.charged, 0.0);
+      if (!e.clicked) EXPECT_DOUBLE_EQ(e.charged, 0.0);
+    }
+    EXPECT_GE(out.wd.expected_revenue, -1e-9);
+    revenue += out.revenue_charged;
+  }
+  EXPECT_DOUBLE_EQ(engine.total_revenue(), revenue);
+  EXPECT_EQ(engine.auctions_run(), 200);
+  EXPECT_GT(revenue, 0.0) << "200 auctions should produce some clicks";
+
+  // Accounting: per-keyword spend sums to the total spend.
+  for (const AdvertiserAccount& a : engine.accounts()) {
+    Money per_kw = 0;
+    for (Money s : a.spent_per_keyword) per_kw += s;
+    EXPECT_NEAR(per_kw, a.amount_spent, 1e-9);
+  }
+}
+
+TEST(AuctionEngineTest, DeterministicGivenSeeds) {
+  Workload w1 = MakePaperWorkload(SmallConfig(11));
+  Workload w2 = MakePaperWorkload(SmallConfig(11));
+  EngineConfig config;
+  config.seed = 13;
+  AuctionEngine e1(config, w1, RoiStrategies(w1));
+  AuctionEngine e2(config, w2, RoiStrategies(w2));
+  for (int t = 0; t < 100; ++t) {
+    const AuctionOutcome& o1 = e1.RunAuction();
+    const AuctionOutcome& o2 = e2.RunAuction();
+    EXPECT_EQ(o1.query.keyword, o2.query.keyword);
+    ASSERT_EQ(o1.events.size(), o2.events.size());
+    for (size_t i = 0; i < o1.events.size(); ++i) {
+      EXPECT_EQ(o1.events[i].advertiser, o2.events[i].advertiser);
+      EXPECT_EQ(o1.events[i].clicked, o2.events[i].clicked);
+      EXPECT_DOUBLE_EQ(o1.events[i].charged, o2.events[i].charged);
+    }
+  }
+}
+
+TEST(AuctionEngineTest, DifferentSeedsDiverge) {
+  Workload w1 = MakePaperWorkload(SmallConfig(11));
+  Workload w2 = MakePaperWorkload(SmallConfig(12));
+  EngineConfig config;
+  AuctionEngine e1(config, w1, RoiStrategies(w1));
+  AuctionEngine e2(config, w2, RoiStrategies(w2));
+  int diffs = 0;
+  for (int t = 0; t < 50; ++t) {
+    const AuctionOutcome o1 = e1.RunAuction();
+    const AuctionOutcome o2 = e2.RunAuction();
+    diffs += (o1.revenue_charged != o2.revenue_charged);
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(AuctionEngineTest, WdMethodsProduceSameRevenueTrajectory) {
+  // LP, H and RH are interchangeable winner-determination subroutines: the
+  // whole auction trajectory (winners, clicks, charges) must match.
+  std::vector<EngineConfig> configs(3);
+  configs[0].wd_method = WdMethod::kLp;
+  configs[1].wd_method = WdMethod::kHungarian;
+  configs[2].wd_method = WdMethod::kReducedHungarian;
+
+  WorkloadConfig wc = SmallConfig(21);
+  wc.num_advertisers = 15;  // keep the LP small
+  wc.num_slots = 4;
+
+  std::vector<std::unique_ptr<AuctionEngine>> engines;
+  for (const EngineConfig& config : configs) {
+    Workload w = MakePaperWorkload(wc);
+    auto strategies = RoiStrategies(w);
+    engines.push_back(std::make_unique<AuctionEngine>(config, std::move(w),
+                                                      std::move(strategies)));
+  }
+  for (int t = 0; t < 150; ++t) {
+    const AuctionOutcome& lp = engines[0]->RunAuction();
+    const AuctionOutcome& h = engines[1]->RunAuction();
+    const AuctionOutcome& rh = engines[2]->RunAuction();
+    EXPECT_NEAR(lp.wd.expected_revenue, rh.wd.expected_revenue, 1e-7);
+    EXPECT_NEAR(h.wd.expected_revenue, rh.wd.expected_revenue, 1e-7);
+    // Identical optima can differ only on ties; the charged revenue stream
+    // must stay identical for the trajectories to remain comparable.
+    EXPECT_NEAR(lp.revenue_charged, rh.revenue_charged, 1e-7);
+    EXPECT_NEAR(h.revenue_charged, rh.revenue_charged, 1e-7);
+  }
+}
+
+TEST(AuctionEngineTest, VcgPricingRuns) {
+  WorkloadConfig wc = SmallConfig(31);
+  Workload w = MakePaperWorkload(wc);
+  EngineConfig config;
+  config.pricing = PricingRule::kVcg;
+  AuctionEngine engine(config, w, RoiStrategies(w));
+  for (int t = 0; t < 50; ++t) {
+    const AuctionOutcome& out = engine.RunAuction();
+    for (const UserEvent& e : out.events) EXPECT_GE(e.charged, -1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ssa

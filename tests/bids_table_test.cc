@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/bids_table.h"
+
+namespace ssa {
+namespace {
+
+AdvertiserOutcome Outcome(SlotIndex slot, bool clicked, bool purchased) {
+  AdvertiserOutcome o;
+  o.slot = slot;
+  o.clicked = clicked;
+  o.purchased = purchased;
+  return o;
+}
+
+// Figure 3: 5 cents for a purchase, 2 cents for slot 1 or 2; "7 cents if he
+// gets a purchase and his ad is displayed in positions 1 or 2" — the OR-bid
+// sum semantics.
+TEST(BidsTableTest, Figure3OrBidSemantics) {
+  BidsTable bids;
+  bids.AddBid(Formula::Purchase(), 5);
+  bids.AddBid(Formula::AnySlot({0, 1}), 2);
+
+  EXPECT_EQ(bids.Payment(Outcome(0, true, true)), 7);   // both rows true
+  EXPECT_EQ(bids.Payment(Outcome(1, false, false)), 2); // slot row only
+  EXPECT_EQ(bids.Payment(Outcome(4, true, true)), 5);   // purchase row only
+  EXPECT_EQ(bids.Payment(Outcome(4, true, false)), 0);
+  EXPECT_EQ(bids.Payment(Outcome(kNoSlot, false, false)), 0);
+}
+
+TEST(BidsTableTest, ZeroValueRowsAreKept) {
+  // Figure 6's output table has a `Click -> 0` row.
+  BidsTable bids;
+  bids.AddBid(Formula::Click() && Formula::Slot(0), 4);
+  bids.AddBid(Formula::Click(), 0);
+  EXPECT_EQ(bids.size(), 2u);
+  EXPECT_EQ(bids.Payment(Outcome(0, true, false)), 4);
+  EXPECT_EQ(bids.Payment(Outcome(3, true, false)), 0);
+}
+
+TEST(BidsTableTest, NegativeFormulaPaysWhenUnassigned) {
+  // "Top slot or not displayed at all" brand bid.
+  BidsTable bids;
+  bids.AddBid(Formula::Slot(0) || !Formula::AnySlot({0, 1, 2}), 3);
+  EXPECT_EQ(bids.Payment(Outcome(0, false, false)), 3);
+  EXPECT_EQ(bids.Payment(Outcome(kNoSlot, false, false)), 3);
+  EXPECT_EQ(bids.Payment(Outcome(1, false, false)), 0);
+}
+
+TEST(BidsTableTest, TotalValueAndClear) {
+  BidsTable bids;
+  bids.AddBid(Formula::Click(), 3);
+  bids.AddBid(Formula::Purchase(), 9);
+  EXPECT_EQ(bids.TotalValue(), 12);
+  EXPECT_EQ(bids.MaxSlotIndex(), kNoSlot);
+  bids.AddBid(Formula::Slot(7), 1);
+  EXPECT_EQ(bids.MaxSlotIndex(), 7);
+  bids.Clear();
+  EXPECT_TRUE(bids.empty());
+  EXPECT_EQ(bids.TotalValue(), 0);
+}
+
+TEST(BidsTableTest, DependsOnlyOnOwnPlacement) {
+  BidsTable ok;
+  ok.AddBid(Formula::Click() && Formula::Slot(1), 2);
+  EXPECT_TRUE(ok.DependsOnlyOnOwnPlacement());
+
+  BidsTable heavy;
+  heavy.AddBid(Formula::Slot(1) && !Formula::HeavyInSlot(0), 3);
+  EXPECT_FALSE(heavy.DependsOnlyOnOwnPlacement());
+}
+
+TEST(BidsTableTest, ToStringListsRows) {
+  BidsTable bids;
+  bids.AddBid(Formula::Purchase(), 5);
+  const std::string s = bids.ToString();
+  EXPECT_NE(s.find("Purchase"), std::string::npos);
+  EXPECT_NE(s.find("5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssa

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/click_model.h"
+#include "core/separable.h"
+
+namespace ssa {
+namespace {
+
+// Figure 7: non-separable click probabilities.
+const double kFigure7[] = {0.7, 0.4,   // Nike
+                           0.6, 0.3};  // Adidas
+
+// Figure 8: separable (Nike 4, Adidas 3; slots 0.2, 0.1).
+const double kFigure8[] = {0.8, 0.4,   // Nike
+                           0.6, 0.3};  // Adidas
+
+TEST(ClickModelTest, MatrixModelLookup) {
+  MatrixClickModel model(2, 2, {kFigure7, kFigure7 + 4});
+  EXPECT_EQ(model.num_advertisers(), 2);
+  EXPECT_EQ(model.num_slots(), 2);
+  EXPECT_DOUBLE_EQ(model.ClickProbability(0, 0), 0.7);
+  EXPECT_DOUBLE_EQ(model.ClickProbability(1, 1), 0.3);
+  EXPECT_DOUBLE_EQ(model.PurchaseProbabilityGivenClick(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.PurchaseProbabilityGivenNoClick(0, 0), 0.0);
+}
+
+TEST(ClickModelTest, MatrixModelWithPurchase) {
+  MatrixClickModel model(1, 2, {0.5, 0.25}, {0.1, 0.2});
+  EXPECT_DOUBLE_EQ(model.PurchaseProbabilityGivenClick(0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(model.PurchaseProbabilityGivenClick(0, 1), 0.2);
+}
+
+TEST(ClickModelTest, Figure7IsNotSeparableFigure8Is) {
+  EXPECT_FALSE(IsSeparable({kFigure7, kFigure7 + 4}, 2, 2));
+  EXPECT_TRUE(IsSeparable({kFigure8, kFigure8 + 4}, 2, 2));
+}
+
+TEST(ClickModelTest, SeparableModelMultiplies) {
+  SeparableClickModel model({4.0, 3.0}, {0.2, 0.1});
+  EXPECT_DOUBLE_EQ(model.ClickProbability(0, 0), 0.8);
+  EXPECT_DOUBLE_EQ(model.ClickProbability(0, 1), 0.4);
+  EXPECT_DOUBLE_EQ(model.ClickProbability(1, 0), 0.6);
+  EXPECT_DOUBLE_EQ(model.ClickProbability(1, 1), 0.3);
+}
+
+TEST(ClickModelTest, SeparableModelClampsToOne) {
+  SeparableClickModel model({5.0}, {0.3});
+  EXPECT_DOUBLE_EQ(model.ClickProbability(0, 0), 1.0);
+}
+
+// Section V: [0.1, 0.9] split into k intervals; slot j draws from the
+// (j+1)-th highest interval, so higher slots always out-click lower ones.
+TEST(ClickModelTest, SlotIntervalGeneratorRespectsIntervals) {
+  Rng rng(99);
+  const int n = 50, k = 15;
+  MatrixClickModel model = MakeSlotIntervalClickModel(n, k, rng);
+  const double width = (0.9 - 0.1) / k;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      const double p = model.ClickProbability(i, j);
+      const double lo = 0.9 - width * (j + 1);
+      EXPECT_GE(p, lo) << "advertiser " << i << " slot " << j;
+      EXPECT_LT(p, lo + width) << "advertiser " << i << " slot " << j;
+    }
+  }
+  // Disjoint intervals imply strict dominance of higher slots.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j + 1 < k; ++j) {
+      EXPECT_GT(model.ClickProbability(i, j), model.ClickProbability(i, j + 1));
+    }
+  }
+}
+
+TEST(ClickModelTest, SlotIntervalGeneratorIsGenerallyNonSeparable) {
+  Rng rng(123);
+  const int n = 8, k = 4;
+  MatrixClickModel model = MakeSlotIntervalClickModel(n, k, rng);
+  std::vector<double> click;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) click.push_back(model.ClickProbability(i, j));
+  }
+  EXPECT_FALSE(IsSeparable(click, n, k));
+}
+
+TEST(ClickModelTest, SlotIntervalGeneratorDeterministicInSeed) {
+  Rng a(5), b(5);
+  MatrixClickModel ma = MakeSlotIntervalClickModel(10, 3, a);
+  MatrixClickModel mb = MakeSlotIntervalClickModel(10, 3, b);
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(ma.ClickProbability(i, j), mb.ClickProbability(i, j));
+    }
+  }
+}
+
+TEST(ClickModelTest, RandomSeparableModelIsSeparable) {
+  Rng rng(77);
+  SeparableClickModel model = MakeRandomSeparableClickModel(12, 5, rng);
+  std::vector<double> click;
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 5; ++j) click.push_back(model.ClickProbability(i, j));
+  }
+  EXPECT_TRUE(IsSeparable(click, 12, 5, 1e-9));
+}
+
+}  // namespace
+}  // namespace ssa

@@ -1,0 +1,137 @@
+// Section IV-A's motivating scenario: "advertisers all use the same general
+// strategy of starting each day by bidding low and then gradually increasing
+// their bids as the end of the day approaches. However, they might each
+// start with a different amount and might increase their bids at different
+// rates." The advertiser-specific parameters (start, rate) live in sorted
+// lists; time-of-day is a shared global; the per-slot score
+// w_ij * f_j(start_i + rate_i * t) is monotone in every parameter — exactly
+// what the Threshold Algorithm needs.
+//
+// This test (1) expresses the strategy as a bidding program in the
+// Section II-B language and checks it against a native implementation, and
+// (2) runs TA over the (ctr, current-bid) lists to find the per-slot top-k
+// without scanning all advertisers, validating the Section IV-A pipeline on
+// a second strategy besides ROI equalization.
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "strategy/program_strategy.h"
+#include "strategy/threshold_algorithm.h"
+#include "util/rng.h"
+
+namespace ssa {
+namespace {
+
+// The dayparting program: bid = min(maxbid, start + rate * time). The
+// advertiser-specific start/rate are prefilled into private columns the
+// provider does not touch (the Keywords table doubles as program state).
+constexpr const char kDaypart[] = R"sql(
+CREATE TRIGGER bid AFTER INSERT ON Query
+{
+  UPDATE Keywords SET bid = startAmount + rampRate * time;
+  UPDATE Keywords SET bid = maxbid WHERE bid > maxbid;
+  UPDATE Bids
+  SET value =
+    ( SELECT SUM( K.bid ) FROM Keywords K
+      WHERE K.relevance > 0.7 AND K.formula = Bids.formula );
+}
+)sql";
+
+// ProgramStrategy owns the Keywords schema; extend it by... the language
+// resolves unknown identifiers against scalars, so start/rate ride in as
+// scalars here. Per-advertiser values come from each strategy's own env —
+// we emulate by substituting literals into the source.
+std::string MaterializeProgram(double start, double rate) {
+  std::string src = kDaypart;
+  auto replace_all = [&src](const std::string& from, const std::string& to) {
+    size_t pos = 0;
+    while ((pos = src.find(from, pos)) != std::string::npos) {
+      src.replace(pos, from.size(), to);
+      pos += to.size();
+    }
+  };
+  replace_all("startAmount", std::to_string(start));
+  replace_all("rampRate", std::to_string(rate));
+  return src;
+}
+
+TEST(DaypartStrategyTest, ProgramMatchesClosedForm) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const double start = static_cast<double>(rng.UniformInt(0, 10));
+    const double rate = static_cast<double>(rng.UniformInt(1, 3));
+    const Money maxbid = static_cast<Money>(rng.UniformInt(20, 60));
+
+    auto strategy = ProgramStrategy::Create(MaterializeProgram(start, rate),
+                                            {{"kw0", Formula::Click()}});
+    ASSERT_TRUE(strategy.ok()) << strategy.status().ToString();
+
+    AdvertiserAccount account;
+    account.value_per_click = {maxbid};
+    account.max_bid = {maxbid};
+    account.value_gained = {0};
+    account.spent_per_keyword = {0};
+    account.target_spend_rate = 1;
+
+    for (int64_t t = 1; t <= 50; t += 7) {
+      Query q;
+      q.keyword = 0;
+      q.time = t;
+      q.relevance = {1.0};
+      BidsTable bids;
+      (*strategy)->MakeBids(q, account, &bids);
+      ASSERT_EQ(bids.size(), 1u);
+      const double expected =
+          std::min(static_cast<double>(maxbid), start + rate * t);
+      EXPECT_DOUBLE_EQ(bids.rows()[0].value, expected)
+          << "t=" << t << " start=" << start << " rate=" << rate;
+    }
+  }
+}
+
+TEST(DaypartStrategyTest, ThresholdAlgorithmFindsTopBiddersMidDay) {
+  // n advertisers with per-advertiser (start, rate); at a fixed time-of-day
+  // the current bid is monotone in both parameters, so TA over the
+  // (start + rate * t)-sorted list x ctr-sorted list is exact.
+  Rng rng(9);
+  const int n = 4000, k = 10;
+  std::vector<double> start(n), rate(n), ctr(n);
+  for (int i = 0; i < n; ++i) {
+    start[i] = static_cast<double>(rng.UniformInt(0, 20));
+    rate[i] = rng.Uniform(0.01, 0.5);
+    ctr[i] = rng.Uniform(0.4, 0.9);
+  }
+  const double t = 300.0;  // mid-day
+  auto bid_at = [&](int i) { return start[i] + rate[i] * t; };
+
+  auto sorted_by = [&](auto value_fn) {
+    std::vector<std::pair<double, int32_t>> entries;
+    for (int i = 0; i < n; ++i) entries.emplace_back(value_fn(i), i);
+    std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    return entries;
+  };
+  VectorSortedList bid_list(sorted_by(bid_at));
+  VectorSortedList ctr_list(sorted_by([&](int i) { return ctr[i]; }));
+
+  const auto ta = ThresholdTopK(
+      {&bid_list, &ctr_list},
+      [&](int32_t id) { return ctr[id] * bid_at(id); },
+      [](const std::vector<double>& c) { return c[0] * c[1]; }, k, n);
+
+  std::vector<std::pair<double, int32_t>> all;
+  for (int i = 0; i < n; ++i) all.emplace_back(ctr[i] * bid_at(i), i);
+  std::sort(all.rbegin(), all.rend());
+  ASSERT_EQ(ta.top.size(), static_cast<size_t>(k));
+  for (int r = 0; r < k; ++r) EXPECT_EQ(ta.top[r].second, all[r].second);
+  // Sublinear probing: far fewer sorted accesses than 2n.
+  EXPECT_LT(ta.sorted_accesses, n);
+}
+
+}  // namespace
+}  // namespace ssa

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "db/table.h"
+
+namespace ssa {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Number(3.5).is_number());
+  EXPECT_DOUBLE_EQ(Value::Number(3.5).number(), 3.5);
+  EXPECT_TRUE(Value::String("hi").is_string());
+  EXPECT_EQ(Value::String("hi").str(), "hi");
+  EXPECT_DOUBLE_EQ(Value::Bool(true).number(), 1.0);
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_TRUE(Value::Number(1).Truthy());
+  EXPECT_TRUE(Value::Number(-0.5).Truthy());
+  EXPECT_FALSE(Value::Number(0).Truthy());
+  EXPECT_FALSE(Value::Null().Truthy());
+  EXPECT_FALSE(Value::String("x").Truthy());
+}
+
+TEST(ValueTest, EqualitySemantics) {
+  EXPECT_TRUE(Value::Number(2).EqualsValue(Value::Number(2)));
+  EXPECT_FALSE(Value::Number(2).EqualsValue(Value::Number(3)));
+  EXPECT_TRUE(Value::String("a").EqualsValue(Value::String("a")));
+  EXPECT_FALSE(Value::String("a").EqualsValue(Value::Number(1)));
+  // NULL equals nothing, not even NULL (SQL-style).
+  EXPECT_FALSE(Value::Null().EqualsValue(Value::Null()));
+  EXPECT_FALSE(Value::Null().EqualsValue(Value::Number(0)));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Number(42).ToString(), "42");
+  EXPECT_EQ(Value::String("boot").ToString(), "'boot'");
+}
+
+TEST(TableTest, SchemaAndRows) {
+  Table t("Keywords", {"text", "bid"});
+  EXPECT_EQ(t.name(), "Keywords");
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_EQ(t.ColumnIndex("bid"), 1);
+  EXPECT_EQ(t.ColumnIndex("missing"), -1);
+  EXPECT_TRUE(t.HasColumn("text"));
+
+  t.InsertRow({Value::String("boot"), Value::Number(5)});
+  t.InsertRow({Value::String("shoe"), Value::Number(8)});
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.At(0, 0).str(), "boot");
+  EXPECT_DOUBLE_EQ(t.At(1, "bid").number(), 8);
+
+  t.Set(0, "bid", Value::Number(6));
+  EXPECT_DOUBLE_EQ(t.At(0, 1).number(), 6);
+
+  t.Clear();
+  EXPECT_EQ(t.num_rows(), 0);
+  EXPECT_EQ(t.num_columns(), 2);  // schema survives
+}
+
+TEST(DatabaseTest, CatalogLookup) {
+  Database db;
+  Table* k = db.AddTable("Keywords", {"text"});
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(db.GetTable("Keywords"), k);
+  EXPECT_EQ(db.GetTable("keywords"), nullptr);  // case-sensitive
+  EXPECT_EQ(db.GetTable("Bids"), nullptr);
+  const Database& cdb = db;
+  EXPECT_EQ(cdb.GetTable("Keywords"), k);
+}
+
+}  // namespace
+}  // namespace ssa

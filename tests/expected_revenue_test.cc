@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/expected_revenue.h"
+
+namespace ssa {
+namespace {
+
+// One advertiser, two slots; click 0.5 / 0.2; purchase-given-click 0.4 / 0.1.
+MatrixClickModel TinyModel() {
+  return MatrixClickModel(1, 2, {0.5, 0.2}, {0.4, 0.1});
+}
+
+TEST(ExpectedRevenueTest, ClickBid) {
+  MatrixClickModel model = TinyModel();
+  BidsTable bids;
+  bids.AddBid(Formula::Click(), 10);
+  EXPECT_DOUBLE_EQ(ExpectedPayment(bids, model, 0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(ExpectedPayment(bids, model, 0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(ExpectedPayment(bids, model, 0, kNoSlot), 0.0);
+}
+
+TEST(ExpectedRevenueTest, PurchaseBid) {
+  MatrixClickModel model = TinyModel();
+  BidsTable bids;
+  bids.AddBid(Formula::Purchase(), 100);
+  // P(purchase | slot 0) = 0.5 * 0.4 = 0.2.
+  EXPECT_NEAR(ExpectedPayment(bids, model, 0, 0), 20.0, 1e-12);
+  EXPECT_NEAR(ExpectedPayment(bids, model, 0, 1), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ExpectedPayment(bids, model, 0, kNoSlot), 0.0);
+}
+
+TEST(ExpectedRevenueTest, SlotOnlyBidIsDeterministicGivenSlot) {
+  MatrixClickModel model = TinyModel();
+  BidsTable bids;
+  bids.AddBid(Formula::Slot(1), 7);
+  EXPECT_DOUBLE_EQ(ExpectedPayment(bids, model, 0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(ExpectedPayment(bids, model, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedPayment(bids, model, 0, kNoSlot), 0.0);
+}
+
+TEST(ExpectedRevenueTest, NegatedSlotBidPaysWhenUnassigned) {
+  // "Top slot or nothing": pays when unassigned too — the baseline r(⊥).
+  MatrixClickModel model = TinyModel();
+  BidsTable bids;
+  bids.AddBid(!Formula::AnySlot({0, 1}) || Formula::Slot(0), 9);
+  EXPECT_DOUBLE_EQ(ExpectedPayment(bids, model, 0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(ExpectedPayment(bids, model, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedPayment(bids, model, 0, kNoSlot), 9.0);
+}
+
+TEST(ExpectedRevenueTest, OrBidRowsAdd) {
+  MatrixClickModel model = TinyModel();
+  BidsTable bids;
+  bids.AddBid(Formula::Click(), 10);    // 5.0 in slot 0
+  bids.AddBid(Formula::Purchase(), 100);  // 20.0 in slot 0
+  EXPECT_NEAR(ExpectedPayment(bids, model, 0, 0), 25.0, 1e-12);
+}
+
+TEST(ExpectedRevenueTest, ConjunctionClickAndSlot) {
+  MatrixClickModel model = TinyModel();
+  BidsTable bids;
+  bids.AddBid(Formula::Click() && Formula::Slot(0), 10);
+  EXPECT_DOUBLE_EQ(ExpectedPayment(bids, model, 0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(ExpectedPayment(bids, model, 0, 1), 0.0);
+}
+
+TEST(ExpectedRevenueTest, BuildMatrixAndMarginals) {
+  MatrixClickModel model(2, 2, {0.5, 0.2, 0.4, 0.1});
+  std::vector<BidsTable> bids(2);
+  bids[0].AddBid(Formula::Click(), 10);
+  // Advertiser 1 prefers not to be shown unless in the top slot.
+  bids[1].AddBid(Formula::Slot(0) || !Formula::AnySlot({0, 1}), 6);
+
+  RevenueMatrix m = BuildRevenueMatrix(bids, model);
+  EXPECT_EQ(m.num_advertisers(), 2);
+  EXPECT_EQ(m.num_slots(), 2);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.AtUnassigned(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.AtUnassigned(1), 6.0);
+
+  // Marginal weights: advertiser 1 in slot 1 *loses* 6 vs staying out.
+  EXPECT_DOUBLE_EQ(m.MarginalWeight(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.MarginalWeight(1, 1), -6.0);
+  EXPECT_DOUBLE_EQ(m.UnassignedTotal(), 6.0);
+}
+
+TEST(ExpectedRevenueTest, TrueFormulaAlwaysPays) {
+  MatrixClickModel model = TinyModel();
+  BidsTable bids;
+  bids.AddBid(Formula::True(), 3);
+  EXPECT_DOUBLE_EQ(ExpectedPayment(bids, model, 0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(ExpectedPayment(bids, model, 0, kNoSlot), 3.0);
+}
+
+TEST(ExpectedRevenueTest, PurchaseGivenNoClickPath) {
+  // Custom model where purchases can happen without a click.
+  class NoClickPurchaseModel : public ClickModel {
+   public:
+    int num_advertisers() const override { return 1; }
+    int num_slots() const override { return 1; }
+    double ClickProbability(AdvertiserId, SlotIndex) const override {
+      return 0.5;
+    }
+    double PurchaseProbabilityGivenClick(AdvertiserId,
+                                         SlotIndex) const override {
+      return 0.0;
+    }
+    double PurchaseProbabilityGivenNoClick(AdvertiserId,
+                                           SlotIndex) const override {
+      return 0.2;
+    }
+  };
+  NoClickPurchaseModel model;
+  BidsTable bids;
+  bids.AddBid(Formula::Purchase(), 10);
+  // P(purchase) = 0.5*0 + 0.5*0.2 = 0.1.
+  EXPECT_NEAR(ExpectedPayment(bids, model, 0, 0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ssa

@@ -1,0 +1,172 @@
+#include <memory>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/heavyweight.h"
+#include "util/rng.h"
+
+namespace ssa {
+namespace {
+
+std::shared_ptr<const MatrixClickModel> BaseModel(int n, int k, Rng& rng) {
+  return std::make_shared<MatrixClickModel>(
+      MakeSlotIntervalClickModel(n, k, rng));
+}
+
+TEST(ShadowModelTest, HeavyweightsAboveDampenClicks) {
+  Rng rng(3);
+  auto base = BaseModel(2, 3, rng);
+  ShadowHeavyClickModel model(base, {true, false}, 0.5, 0.2);
+  // No heavyweights: base probability.
+  EXPECT_DOUBLE_EQ(model.ClickProbability(1, 2, 0),
+                   base->ClickProbability(1, 2));
+  // One heavyweight above slot 2 halves a lightweight's clicks.
+  EXPECT_DOUBLE_EQ(model.ClickProbability(1, 2, 0b001),
+                   base->ClickProbability(1, 2) * 0.5);
+  // Two heavyweights above: quartered.
+  EXPECT_DOUBLE_EQ(model.ClickProbability(1, 2, 0b011),
+                   base->ClickProbability(1, 2) * 0.25);
+  // Heavy advertiser suffers the smaller shadow.
+  EXPECT_DOUBLE_EQ(model.ClickProbability(0, 2, 0b001),
+                   base->ClickProbability(0, 2) * 0.8);
+  // Heavyweights at or below the slot do not shadow it.
+  EXPECT_DOUBLE_EQ(model.ClickProbability(1, 0, 0b110),
+                   base->ClickProbability(1, 0));
+}
+
+TEST(TableModelTest, ExplicitLookup) {
+  // 1 advertiser, 2 slots, 4 masks.
+  std::vector<double> click(1 * 2 * 4, 0.0);
+  auto idx = [](int i, int j, uint32_t mask) {
+    return ((static_cast<size_t>(i) * 2 + j) << 2) + mask;
+  };
+  click[idx(0, 0, 0b00)] = 0.9;
+  click[idx(0, 0, 0b10)] = 0.6;
+  click[idx(0, 1, 0b01)] = 0.3;
+  TableHeavyClickModel model(1, 2, click);
+  EXPECT_DOUBLE_EQ(model.ClickProbability(0, 0, 0b00), 0.9);
+  EXPECT_DOUBLE_EQ(model.ClickProbability(0, 0, 0b10), 0.6);
+  EXPECT_DOUBLE_EQ(model.ClickProbability(0, 1, 0b01), 0.3);
+}
+
+TEST(HeavyExpectedPaymentTest, HeavyFormulaBid) {
+  Rng rng(5);
+  auto base = BaseModel(2, 2, rng);
+  ShadowHeavyClickModel model(base, {true, false}, 0.4, 0.1);
+  // "3 cents if I get slot 2 and there is a *lightweight* in slot 1" — the
+  // paper's example bid, expressible as Slot2 & !Heavy1.
+  BidsTable bids;
+  bids.AddBid(Formula::Slot(1) && !Formula::HeavyInSlot(0), 3);
+  EXPECT_DOUBLE_EQ(ExpectedPaymentHeavy(bids, model, 1, 1, 0b00), 3.0);
+  EXPECT_DOUBLE_EQ(ExpectedPaymentHeavy(bids, model, 1, 1, 0b01), 0.0);
+  EXPECT_DOUBLE_EQ(ExpectedPaymentHeavy(bids, model, 1, 0, 0b00), 0.0);
+}
+
+TEST(HeavyExpectedPaymentTest, ClickBidUsesMaskedProbability) {
+  Rng rng(7);
+  auto base = BaseModel(2, 2, rng);
+  ShadowHeavyClickModel model(base, {true, false}, 0.5, 0.5);
+  BidsTable bids;
+  bids.AddBid(Formula::Click(), 10);
+  EXPECT_DOUBLE_EQ(ExpectedPaymentHeavy(bids, model, 1, 1, 0b01),
+                   base->ClickProbability(1, 1) * 0.5 * 10);
+}
+
+// Property: the 2^k decomposition equals exhaustive search over assignments.
+class HeavySolverAgreement
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(HeavySolverAgreement, MatchesBruteForce) {
+  const auto [n, k, seed] = GetParam();
+  Rng rng(seed);
+  auto base = BaseModel(n, k, rng);
+  std::vector<bool> is_heavy(n);
+  for (int i = 0; i < n; ++i) is_heavy[i] = rng.Bernoulli(0.4);
+  ShadowHeavyClickModel model(base, is_heavy, 0.5, 0.2);
+
+  std::vector<BidsTable> bids(n);
+  for (int i = 0; i < n; ++i) {
+    bids[i].AddBid(Formula::Click(), static_cast<Money>(rng.UniformInt(1, 50)));
+    if (rng.Bernoulli(0.5)) {
+      // Multi-feature heavy-aware bid: pay extra for the top slot with no
+      // heavyweight above anywhere.
+      Formula no_heavy = Formula::True();
+      for (int j = 0; j < k; ++j) no_heavy = no_heavy && !Formula::HeavyInSlot(j);
+      bids[i].AddBid(Formula::Slot(0) && no_heavy,
+                     static_cast<Money>(rng.UniformInt(1, 20)));
+    }
+    if (rng.Bernoulli(0.3)) {
+      bids[i].AddBid(!Formula::AnySlot({0}) && Formula::HeavyInSlot(0),
+                     static_cast<Money>(rng.UniformInt(1, 10)));
+    }
+  }
+
+  const HeavyWdResult fast = DetermineWinnersHeavy(bids, model, is_heavy);
+  const HeavyWdResult oracle = BruteForceHeavy(bids, model, is_heavy);
+  EXPECT_NEAR(fast.expected_revenue, oracle.expected_revenue, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, HeavySolverAgreement,
+    ::testing::Values(std::make_tuple(3, 2, 11u), std::make_tuple(4, 2, 12u),
+                      std::make_tuple(4, 3, 13u), std::make_tuple(5, 3, 14u),
+                      std::make_tuple(6, 2, 15u), std::make_tuple(5, 2, 16u),
+                      std::make_tuple(6, 3, 17u)));
+
+TEST(HeavySolverTest, ParallelMatchesSerial) {
+  Rng rng(21);
+  const int n = 12, k = 4;
+  auto base = BaseModel(n, k, rng);
+  std::vector<bool> is_heavy(n);
+  for (int i = 0; i < n; ++i) is_heavy[i] = rng.Bernoulli(0.3);
+  ShadowHeavyClickModel model(base, is_heavy, 0.4, 0.1);
+  std::vector<BidsTable> bids(n);
+  for (int i = 0; i < n; ++i) {
+    bids[i].AddBid(Formula::Click(), static_cast<Money>(rng.UniformInt(1, 50)));
+  }
+  ThreadPool pool(4);
+  const HeavyWdResult serial = DetermineWinnersHeavy(bids, model, is_heavy);
+  const HeavyWdResult parallel =
+      DetermineWinnersHeavy(bids, model, is_heavy, &pool);
+  EXPECT_NEAR(serial.expected_revenue, parallel.expected_revenue, 1e-9);
+}
+
+TEST(HeavySolverTest, MaskMatchesAllocation) {
+  Rng rng(33);
+  const int n = 6, k = 3;
+  auto base = BaseModel(n, k, rng);
+  std::vector<bool> is_heavy = {true, true, false, false, false, true};
+  ShadowHeavyClickModel model(base, is_heavy, 0.5, 0.2);
+  std::vector<BidsTable> bids(n);
+  for (int i = 0; i < n; ++i) {
+    bids[i].AddBid(Formula::Click(), static_cast<Money>(rng.UniformInt(1, 50)));
+  }
+  const HeavyWdResult r = DetermineWinnersHeavy(bids, model, is_heavy);
+  // The declared mask must equal the realized heavyweight positions.
+  for (int j = 0; j < k; ++j) {
+    const AdvertiserId a = r.allocation.slot_to_advertiser[j];
+    const bool declared = (r.heavy_slot_mask >> j) & 1u;
+    const bool realized = a >= 0 && is_heavy[a];
+    EXPECT_EQ(declared, realized) << "slot " << j;
+  }
+}
+
+TEST(HeavySolverTest, NoHeavyweightsReducesToPlainMatching) {
+  Rng rng(55);
+  const int n = 8, k = 3;
+  auto base = BaseModel(n, k, rng);
+  std::vector<bool> none(n, false);
+  ShadowHeavyClickModel model(base, none, 0.5, 0.2);
+  std::vector<BidsTable> bids(n);
+  for (int i = 0; i < n; ++i) {
+    bids[i].AddBid(Formula::Click(), static_cast<Money>(rng.UniformInt(1, 50)));
+  }
+  const HeavyWdResult r = DetermineWinnersHeavy(bids, model, none);
+  EXPECT_EQ(r.heavy_slot_mask, 0u);
+  const HeavyWdResult oracle = BruteForceHeavy(bids, model, none);
+  EXPECT_NEAR(r.expected_revenue, oracle.expected_revenue, 1e-9);
+}
+
+}  // namespace
+}  // namespace ssa

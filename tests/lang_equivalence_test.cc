@@ -1,0 +1,159 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "auction/auction_engine.h"
+#include "strategy/program_strategy.h"
+#include "strategy/roi_strategy.h"
+
+namespace ssa {
+namespace {
+
+// The Figure 5 Equalize-ROI program, with two fidelity fixes documented in
+// DESIGN.md: the paper's line-11 typo ('<' in the overspending branch) is
+// corrected to '>', and the spend-rate tests are written in the multiplied
+// form `amtSpent < targetSpendRate * time` so the floating-point comparison
+// is bit-identical to the native RoiStrategy (the paper's `amtSpent / time <
+// targetSpendRate` is algebraically the same for time > 0).
+constexpr const char kEqualizeRoi[] = R"sql(
+CREATE TRIGGER bid AFTER INSERT ON Query
+{
+  IF amtSpent < targetSpendRate * time THEN
+    UPDATE Keywords
+    SET bid = bid + 1
+    WHERE roi =
+      ( SELECT MAX( K.roi )
+        FROM Keywords K )
+      AND relevance > 0
+      AND bid < maxbid;
+  ELSEIF amtSpent > targetSpendRate * time
+  THEN
+    UPDATE Keywords
+    SET bid = bid - 1
+    WHERE roi =
+      ( SELECT MIN( K.roi )
+        FROM Keywords K )
+      AND relevance > 0
+      AND bid > 0;
+  ENDIF;
+
+  UPDATE Bids
+  SET value =
+    ( SELECT SUM( K.bid )
+      FROM Keywords K
+      WHERE K.relevance > 0.7
+      AND K.formula = Bids.formula );
+}
+)sql";
+
+std::vector<ProgramStrategy::KeywordSpec> Specs(const Workload& w) {
+  std::vector<ProgramStrategy::KeywordSpec> specs;
+  for (size_t kw = 0; kw < w.keyword_formulas.size(); ++kw) {
+    specs.push_back({"kw" + std::to_string(kw), w.keyword_formulas[kw]});
+  }
+  return specs;
+}
+
+// Section II-C's program, interpreted, must reproduce the native strategy's
+// behavior exactly: same bids, same winners, same charges, over a full
+// simulated campaign.
+TEST(LangEquivalenceTest, InterpretedFigure5MatchesNativeRoi) {
+  WorkloadConfig wc;
+  wc.num_advertisers = 25;
+  wc.num_slots = 4;
+  wc.num_keywords = 3;
+  wc.seed = 77;
+  EngineConfig ec;
+  ec.seed = 78;
+
+  Workload w_native = MakePaperWorkload(wc);
+  Workload w_interp = MakePaperWorkload(wc);
+
+  std::vector<std::unique_ptr<BiddingStrategy>> native;
+  std::vector<RoiStrategy*> native_raw;
+  std::vector<std::unique_ptr<BiddingStrategy>> interpreted;
+  std::vector<ProgramStrategy*> interp_raw;
+  for (int i = 0; i < wc.num_advertisers; ++i) {
+    auto n = std::make_unique<RoiStrategy>(w_native.keyword_formulas);
+    native_raw.push_back(n.get());
+    native.push_back(std::move(n));
+    auto p = ProgramStrategy::Create(kEqualizeRoi, Specs(w_interp));
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    interp_raw.push_back(p->get());
+    interpreted.push_back(*std::move(p));
+  }
+
+  AuctionEngine eager(ec, std::move(w_native), std::move(native));
+  AuctionEngine interp(ec, std::move(w_interp), std::move(interpreted));
+
+  for (int t = 0; t < 600; ++t) {
+    const AuctionOutcome on = eager.RunAuction();
+    const AuctionOutcome& oi = interp.RunAuction();
+    ASSERT_EQ(on.query.keyword, oi.query.keyword);
+    ASSERT_EQ(on.wd.allocation.slot_to_advertiser,
+              oi.wd.allocation.slot_to_advertiser)
+        << "winner divergence at auction " << t;
+    ASSERT_DOUBLE_EQ(on.revenue_charged, oi.revenue_charged)
+        << "revenue divergence at auction " << t;
+    for (int i = 0; i < wc.num_advertisers; ++i) {
+      for (int kw = 0; kw < wc.num_keywords; ++kw) {
+        ASSERT_DOUBLE_EQ(native_raw[i]->tentative_bids()[kw],
+                         interp_raw[i]->TentativeBid(kw))
+            << "auction " << t << " advertiser " << i << " keyword " << kw;
+      }
+    }
+  }
+}
+
+// Figure 4 / Figure 6 worked example: Keywords table state from the paper
+// produces exactly the Figure 6 Bids table.
+TEST(LangEquivalenceTest, PaperFigure6WorkedExample) {
+  // Keywords (after lines 1-20): boot/Click&Slot1 bid 4 rel 0.8;
+  // shoe/Click bid 8 rel 0.2.
+  auto formula_boot = Formula::Click() && Formula::Slot(0);
+  auto formula_shoe = Formula::Click();
+  auto strategy = ProgramStrategy::Create(
+      // Only the Bids-update stage: bids are preset via the account below by
+      // running the full program against an account crafted so the IF does
+      // not fire (exactly on target).
+      R"sql(
+      CREATE TRIGGER bid AFTER INSERT ON Query
+      {
+        UPDATE Keywords SET bid = 4 WHERE formula = '(Click & Slot1)';
+        UPDATE Keywords SET bid = 8 WHERE formula = 'Click';
+        UPDATE Bids
+        SET value =
+          ( SELECT SUM( K.bid )
+            FROM Keywords K
+            WHERE K.relevance > 0.7
+            AND K.formula = Bids.formula );
+      }
+      )sql",
+      {{"boot", formula_boot}, {"shoe", formula_shoe}});
+  ASSERT_TRUE(strategy.ok()) << strategy.status().ToString();
+
+  AdvertiserAccount account;
+  account.value_per_click = {5, 6};
+  account.max_bid = {5, 6};
+  account.value_gained = {0, 0};
+  account.spent_per_keyword = {0, 0};
+  account.target_spend_rate = 1;
+
+  Query query;
+  query.keyword = 0;
+  query.time = 1;
+  query.relevance = {0.8, 0.2};  // the paper's relevance scores
+
+  BidsTable bids;
+  (*strategy)->MakeBids(query, account, &bids);
+  // Figure 6: Click & Slot1 -> 4 ("boot" relevant at 0.8), Click -> 0
+  // ("shoe" at 0.2 fails the 0.7 cut; SUM over empty set -> 0).
+  ASSERT_EQ(bids.size(), 2u);
+  EXPECT_TRUE(bids.rows()[0].formula.StructurallyEquals(formula_boot));
+  EXPECT_DOUBLE_EQ(bids.rows()[0].value, 4.0);
+  EXPECT_TRUE(bids.rows()[1].formula.StructurallyEquals(formula_shoe));
+  EXPECT_DOUBLE_EQ(bids.rows()[1].value, 0.0);
+}
+
+}  // namespace
+}  // namespace ssa

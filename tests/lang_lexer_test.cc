@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+
+namespace ssa {
+namespace lang {
+namespace {
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("create TRIGGER Update selECT");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);  // 4 + end
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "CREATE");
+  EXPECT_EQ((*tokens)[1].text, "TRIGGER");
+  EXPECT_EQ((*tokens)[2].text, "UPDATE");
+  EXPECT_EQ((*tokens)[3].text, "SELECT");
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  auto tokens = Tokenize("amtSpent Keywords K_1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "amtSpent");
+  EXPECT_EQ((*tokens)[1].text, "Keywords");
+  EXPECT_EQ((*tokens)[2].text, "K_1");
+}
+
+TEST(LexerTest, NumbersAndOperators) {
+  auto tokens = Tokenize("bid = bid + 1.5 * 2 / x - 3");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kEq);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kPlus);
+  EXPECT_DOUBLE_EQ((*tokens)[4].number, 1.5);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kStar);
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kSlash);
+  EXPECT_EQ((*tokens)[9].kind, TokenKind::kMinus);
+}
+
+TEST(LexerTest, Comparisons) {
+  auto tokens = Tokenize("< <= > >= <> =");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kLt);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kLe);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kGt);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kGe);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kNe);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kEq);
+}
+
+TEST(LexerTest, StringsAndComments) {
+  auto tokens = Tokenize("'Click & Slot1' -- a comment\n42");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "Click & Slot1");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kNumber);
+  EXPECT_EQ((*tokens)[1].line, 2);
+}
+
+TEST(LexerTest, QualifiedNames) {
+  auto tokens = Tokenize("K.roi");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "K");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDot);
+  EXPECT_EQ((*tokens)[2].text, "roi");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  EXPECT_FALSE(Tokenize("bid @ 3").ok());
+}
+
+TEST(LexerTest, TracksLines) {
+  auto tokens = Tokenize("a\nb\n\nc");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[2].line, 4);
+}
+
+}  // namespace
+}  // namespace lang
+}  // namespace ssa

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "lang/parser.h"
+
+namespace ssa {
+namespace lang {
+namespace {
+
+// Figure 5 verbatim (modulo the paper's known typo on line 11, where the
+// overspending branch should test '>' — kept faithful here since the parser
+// does not care).
+constexpr const char kFigure5[] = R"sql(
+CREATE TRIGGER bid AFTER INSERT ON Query
+{
+  IF amtSpent / time < targetSpendRate THEN
+    UPDATE Keywords
+    SET bid = bid + 1
+    WHERE roi =
+      ( SELECT MAX( K.roi )
+        FROM Keywords K )
+      AND relevance > 0
+      AND bid < maxbid;
+  ELSEIF amtSpent / time > targetSpendRate
+  THEN
+    UPDATE Keywords
+    SET bid = bid - 1
+    WHERE roi =
+      ( SELECT MIN( K.roi )
+        FROM Keywords K )
+      AND relevance > 0
+      AND bid > 0;
+  ENDIF;
+
+  UPDATE Bids
+  SET value =
+    ( SELECT SUM( K.bid )
+      FROM Keywords K
+      WHERE K.relevance > 0.7
+      AND K.formula = Bids.formula );
+}
+)sql";
+
+TEST(ParserTest, ParsesFigure5) {
+  auto program = ParseProgram(kFigure5);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->triggers.size(), 1u);
+  const TriggerDecl& trigger = program->triggers[0];
+  EXPECT_EQ(trigger.name, "bid");
+  EXPECT_EQ(trigger.table, "Query");
+  ASSERT_EQ(trigger.body.size(), 2u);  // IF block + Bids update
+
+  const Stmt& if_stmt = *trigger.body[0];
+  ASSERT_EQ(if_stmt.kind, Stmt::Kind::kIf);
+  ASSERT_EQ(if_stmt.branches.size(), 2u);  // IF + ELSEIF
+  EXPECT_TRUE(if_stmt.else_body.empty());
+  // Each branch body is a single UPDATE on Keywords.
+  for (const auto& [cond, body] : if_stmt.branches) {
+    ASSERT_NE(cond, nullptr);
+    ASSERT_EQ(body.size(), 1u);
+    EXPECT_EQ(body[0]->kind, Stmt::Kind::kUpdate);
+    EXPECT_EQ(body[0]->table, "Keywords");
+    ASSERT_EQ(body[0]->assignments.size(), 1u);
+    EXPECT_EQ(body[0]->assignments[0].column, "bid");
+    ASSERT_NE(body[0]->where, nullptr);
+  }
+
+  const Stmt& update = *trigger.body[1];
+  ASSERT_EQ(update.kind, Stmt::Kind::kUpdate);
+  EXPECT_EQ(update.table, "Bids");
+  ASSERT_EQ(update.assignments.size(), 1u);
+  // RHS is a scalar subquery with a correlated WHERE.
+  const Expr& rhs = *update.assignments[0].value;
+  ASSERT_EQ(rhs.kind, Expr::Kind::kSubquery);
+  EXPECT_EQ(rhs.aggregate, AggregateFn::kSum);
+  EXPECT_EQ(rhs.agg_qualifier, "K");
+  EXPECT_EQ(rhs.agg_column, "bid");
+  EXPECT_EQ(rhs.from_table, "Keywords");
+  EXPECT_EQ(rhs.from_alias, "K");
+  ASSERT_NE(rhs.where, nullptr);
+}
+
+TEST(ParserTest, SubqueryWithoutAliasOrWhere) {
+  auto p = ParseProgram(
+      "CREATE TRIGGER t AFTER INSERT ON Query {"
+      " UPDATE T SET x = (SELECT COUNT(y) FROM T); }");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const Expr& rhs = *p->triggers[0].body[0]->assignments[0].value;
+  EXPECT_EQ(rhs.aggregate, AggregateFn::kCount);
+  EXPECT_TRUE(rhs.from_alias.empty());
+  EXPECT_EQ(rhs.where, nullptr);
+}
+
+TEST(ParserTest, MultipleAssignments) {
+  auto p = ParseProgram(
+      "CREATE TRIGGER t AFTER INSERT ON Query {"
+      " UPDATE T SET a = 1, b = a + 2 WHERE a < b; }");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->triggers[0].body[0]->assignments.size(), 2u);
+}
+
+TEST(ParserTest, ElseBranch) {
+  auto p = ParseProgram(
+      "CREATE TRIGGER t AFTER INSERT ON Query {"
+      " IF x > 0 THEN UPDATE T SET a = 1; ELSE UPDATE T SET a = 2; ENDIF }");
+  ASSERT_TRUE(p.ok());
+  const Stmt& s = *p->triggers[0].body[0];
+  EXPECT_EQ(s.branches.size(), 1u);
+  EXPECT_EQ(s.else_body.size(), 1u);
+}
+
+TEST(ParserTest, NestedIf) {
+  auto p = ParseProgram(
+      "CREATE TRIGGER t AFTER INSERT ON Query {"
+      " IF x > 0 THEN IF y > 0 THEN UPDATE T SET a = 1; ENDIF ENDIF }");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const Stmt& outer = *p->triggers[0].body[0];
+  ASSERT_EQ(outer.branches[0].second.size(), 1u);
+  EXPECT_EQ(outer.branches[0].second[0]->kind, Stmt::Kind::kIf);
+}
+
+TEST(ParserTest, MultipleTriggers) {
+  auto p = ParseProgram(
+      "CREATE TRIGGER a AFTER INSERT ON Query { }"
+      "CREATE TRIGGER b AFTER INSERT ON Click { UPDATE T SET x = 1; }");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->triggers.size(), 2u);
+  EXPECT_EQ(p->triggers[1].table, "Click");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseProgram("CREATE TRIGGER").ok());
+  EXPECT_FALSE(ParseProgram("UPDATE T SET a = 1;").ok());  // outside trigger
+  EXPECT_FALSE(
+      ParseProgram("CREATE TRIGGER t AFTER INSERT ON Q { UPDATE T a = 1; }")
+          .ok());  // missing SET
+  EXPECT_FALSE(
+      ParseProgram("CREATE TRIGGER t AFTER INSERT ON Q { IF x THEN }")
+          .ok());  // missing ENDIF
+  EXPECT_FALSE(
+      ParseProgram(
+          "CREATE TRIGGER t AFTER INSERT ON Q { UPDATE T SET a = ; }")
+          .ok());  // missing expression
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto p = ParseProgram(
+      "CREATE TRIGGER t AFTER INSERT ON Q {"
+      " UPDATE T SET a = 1 + 2 * 3; }");
+  ASSERT_TRUE(p.ok());
+  const Expr& rhs = *p->triggers[0].body[0]->assignments[0].value;
+  ASSERT_EQ(rhs.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(rhs.op, BinaryOp::kAdd);  // * binds tighter
+  EXPECT_EQ(rhs.rhs->op, BinaryOp::kMul);
+}
+
+}  // namespace
+}  // namespace lang
+}  // namespace ssa

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "lp/assignment_lp.h"
+#include "lp/simplex.h"
+#include "matching/brute_force.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ssa {
+namespace {
+
+TEST(SimplexTest, TextbookTwoVariable) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> optimum 36 at (2,6).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {3, 5};
+  lp.AddRow({{0, 1.0}}, 4);
+  lp.AddRow({{1, 2.0}}, 12);
+  lp.AddRow({{0, 3.0}, {1, 2.0}}, 18);
+  auto sol = SolveLpMax(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 36.0, 1e-9);
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 6.0, 1e-9);
+}
+
+TEST(SimplexTest, AllSlackOptimumWhenObjectiveNegative) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-1, -2};
+  lp.AddRow({{0, 1.0}, {1, 1.0}}, 10);
+  auto sol = SolveLpMax(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 0.0, 1e-12);
+  EXPECT_NEAR(sol->x[0], 0.0, 1e-12);
+  EXPECT_NEAR(sol->x[1], 0.0, 1e-12);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 1};
+  lp.AddRow({{0, 1.0}, {1, -1.0}}, 1);  // x - y <= 1: y free to grow
+  auto sol = SolveLpMax(lp);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SimplexTest, DegenerateVertexTerminates) {
+  // Redundant constraints meeting at the same vertex (degeneracy).
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1, 1};
+  lp.AddRow({{0, 1.0}}, 1);
+  lp.AddRow({{0, 1.0}, {1, 1.0}}, 2);
+  lp.AddRow({{0, 2.0}, {1, 2.0}}, 4);  // duplicate of the previous, scaled
+  lp.AddRow({{1, 1.0}}, 1);
+  auto sol = SolveLpMax(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityThroughPairedRowsNotNeeded) {
+  // max x s.t. x <= 7 (single var sanity).
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1};
+  lp.AddRow({{0, 1.0}}, 7);
+  auto sol = SolveLpMax(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 7.0, 1e-9);
+}
+
+TEST(AssignmentLpTest, BuildHasTwoNonzerosPerColumn) {
+  const std::vector<double> w = {1, 2, 3, 4, 5, 6};
+  LpProblem lp = BuildAssignmentLp(w, 3, 2);
+  EXPECT_EQ(lp.num_vars, 6);
+  EXPECT_EQ(lp.rows.size(), 5u);  // 3 advertisers + 2 slots
+  std::vector<int> appearances(6, 0);
+  for (const auto& row : lp.rows) {
+    for (const auto& [var, coef] : row.coefficients) {
+      EXPECT_DOUBLE_EQ(coef, 1.0);
+      ++appearances[var];
+    }
+  }
+  for (int a : appearances) EXPECT_EQ(a, 2);
+}
+
+TEST(AssignmentLpTest, MatchesPaperFigure9) {
+  const std::vector<double> w = {9, 5, 8, 7, 7, 6, 7, 4};
+  auto alloc = SolveAssignmentLp(w, 4, 2);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_NEAR(alloc->total_weight, 16.0, 1e-9);
+}
+
+// Chvátal integrality in practice: the simplex optimum of the assignment LP
+// is integral on random instances, and matches the exhaustive optimum.
+class AssignmentLpRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(AssignmentLpRandom, IntegralAndOptimal) {
+  Rng rng(500 + GetParam());
+  const int n = 3 + GetParam() % 5;
+  const int k = 2 + GetParam() % 3;
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<double> w =
+        testing_util::RandomWeights(n, k, rng, -3.0, 10.0);
+    auto lp = SolveAssignmentLp(w, n, k);
+    ASSERT_TRUE(lp.ok()) << lp.status().ToString();
+    const Allocation oracle = BruteForceMatching(w, n, k);
+    EXPECT_NEAR(lp->total_weight, oracle.total_weight, 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AssignmentLpRandom, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ssa

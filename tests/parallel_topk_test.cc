@@ -1,0 +1,79 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel_topk.h"
+#include "core/winner_determination.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ssa {
+namespace {
+
+// The tree network must produce the same candidate set as the sequential
+// per-slot heaps, regardless of the leaf partitioning.
+class TreeTopKBlocks : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeTopKBlocks, MatchesSequentialSelection) {
+  const int num_blocks = GetParam();
+  Rng rng(17);
+  RevenueMatrix m = testing_util::RandomRevenueMatrix(300, 6, rng, 10.0, 3.0);
+  const std::vector<AdvertiserId> sequential =
+      SelectTopPerSlotCandidates(m, 6);
+  const TreeAggregationResult tree = TreeTopKAggregate(m, num_blocks);
+  EXPECT_EQ(tree.candidates, sequential);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, TreeTopKBlocks,
+                         ::testing::Values(1, 2, 3, 7, 16, 300));
+
+TEST(TreeTopKTest, WithThreadPoolSameResult) {
+  Rng rng(23);
+  RevenueMatrix m = testing_util::RandomRevenueMatrix(500, 8, rng, 10.0, 2.0);
+  ThreadPool pool(4);
+  const TreeAggregationResult serial = TreeTopKAggregate(m, 16, nullptr);
+  const TreeAggregationResult parallel = TreeTopKAggregate(m, 16, &pool);
+  EXPECT_EQ(serial.candidates, parallel.candidates);
+}
+
+TEST(TreeTopKTest, MergeLevelsIsLogOfBlocks) {
+  Rng rng(5);
+  RevenueMatrix m = testing_util::RandomRevenueMatrix(64, 3, rng);
+  EXPECT_EQ(TreeTopKAggregate(m, 1).merge_levels, 0);
+  EXPECT_EQ(TreeTopKAggregate(m, 2).merge_levels, 1);
+  EXPECT_EQ(TreeTopKAggregate(m, 8).merge_levels, 3);
+  // Non-power-of-two: ceil(log2 6) = 3.
+  EXPECT_EQ(TreeTopKAggregate(m, 6).merge_levels, 3);
+}
+
+TEST(TreeTopKTest, SolveOnTreeCandidatesIsOptimal) {
+  Rng rng(29);
+  for (int trial = 0; trial < 10; ++trial) {
+    RevenueMatrix m = testing_util::RandomRevenueMatrix(150, 5, rng, 10.0, 3.0);
+    const TreeAggregationResult tree = TreeTopKAggregate(m, 8);
+    const WdResult via_tree = SolveOnCandidates(m, tree.candidates);
+    const WdResult exact = DetermineWinners(m, WdMethod::kHungarian);
+    EXPECT_NEAR(via_tree.expected_revenue, exact.expected_revenue, 1e-9);
+  }
+}
+
+TEST(TreeTopKTest, CriticalPathAccountsLeafAndLevels) {
+  Rng rng(41);
+  RevenueMatrix m = testing_util::RandomRevenueMatrix(2000, 10, rng);
+  const TreeAggregationResult r = TreeTopKAggregate(m, 32);
+  double sum = r.leaf_critical_ms;
+  for (double level : r.level_critical_ms) sum += level;
+  EXPECT_NEAR(r.critical_path_ms, sum, 1e-9);
+  EXPECT_EQ(static_cast<int>(r.level_critical_ms.size()), r.merge_levels);
+}
+
+TEST(TreeTopKTest, MoreBlocksThanAdvertisersClamps) {
+  Rng rng(43);
+  RevenueMatrix m = testing_util::RandomRevenueMatrix(5, 2, rng);
+  const TreeAggregationResult r = TreeTopKAggregate(m, 64);
+  const std::vector<AdvertiserId> sequential = SelectTopPerSlotCandidates(m, 2);
+  EXPECT_EQ(r.candidates, sequential);
+}
+
+}  // namespace
+}  // namespace ssa

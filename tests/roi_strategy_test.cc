@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "strategy/roi_strategy.h"
+
+namespace ssa {
+namespace {
+
+AdvertiserAccount MakeAccount(std::vector<Money> values, double rate) {
+  AdvertiserAccount a;
+  a.value_per_click = values;
+  a.max_bid = values;
+  a.value_gained.assign(values.size(), 0.0);
+  a.spent_per_keyword.assign(values.size(), 0.0);
+  a.target_spend_rate = rate;
+  return a;
+}
+
+Query MakeQuery(int kw, int64_t time, int num_keywords) {
+  Query q;
+  q.keyword = kw;
+  q.time = time;
+  q.relevance.assign(num_keywords, 0.0);
+  q.relevance[kw] = 1.0;
+  return q;
+}
+
+TEST(RoiStrategyTest, UnderspendingRampsQueriedKeyword) {
+  AdvertiserAccount account = MakeAccount({10, 20}, 5.0);
+  RoiStrategy strategy({Formula::Click(), Formula::Click()});
+  BidsTable bids;
+  for (int64_t t = 1; t <= 3; ++t) {
+    bids.Clear();
+    strategy.MakeBids(MakeQuery(0, t, 2), account, &bids);
+  }
+  // Spent stays 0 (never charged) -> underspending every auction; all ROIs
+  // are 0 so every keyword is argmax; only the queried keyword moves.
+  EXPECT_DOUBLE_EQ(strategy.tentative_bids()[0], 3.0);
+  EXPECT_DOUBLE_EQ(strategy.tentative_bids()[1], 0.0);
+}
+
+TEST(RoiStrategyTest, BidCapsAtMaxBid) {
+  AdvertiserAccount account = MakeAccount({2, 5}, 10.0);
+  RoiStrategy strategy({Formula::Click(), Formula::Click()});
+  BidsTable bids;
+  for (int64_t t = 1; t <= 10; ++t) {
+    bids.Clear();
+    strategy.MakeBids(MakeQuery(0, t, 2), account, &bids);
+  }
+  EXPECT_DOUBLE_EQ(strategy.tentative_bids()[0], 2.0);  // capped at max_bid
+}
+
+TEST(RoiStrategyTest, OverspendingDecrementsMinRoiKeyword) {
+  AdvertiserAccount account = MakeAccount({10, 10}, 1.0);
+  RoiStrategy strategy({Formula::Click(), Formula::Click()});
+  BidsTable bids;
+  // Ramp keyword 0 for two auctions while underspending.
+  strategy.MakeBids(MakeQuery(0, 1, 2), account, &bids);
+  bids.Clear();
+  strategy.MakeBids(MakeQuery(0, 2, 2), account, &bids);
+  EXPECT_DOUBLE_EQ(strategy.tentative_bids()[0], 2.0);
+
+  // Now the advertiser is massively overspending; keyword 0 has roi 0.5
+  // (gained 5, spent 10), keyword 1 roi 0 => keyword 1 is argmin; querying
+  // keyword 0 must NOT decrement it (it is not the argmin).
+  account.amount_spent = 100.0;
+  account.spent_per_keyword[0] = 10.0;
+  account.value_gained[0] = 5.0;
+  bids.Clear();
+  strategy.MakeBids(MakeQuery(0, 3, 2), account, &bids);
+  EXPECT_DOUBLE_EQ(strategy.tentative_bids()[0], 2.0);
+
+  // Querying keyword 1 (argmin, but bid already 0) cannot go negative.
+  bids.Clear();
+  strategy.MakeBids(MakeQuery(1, 4, 2), account, &bids);
+  EXPECT_DOUBLE_EQ(strategy.tentative_bids()[1], 0.0);
+
+  // Make keyword 0 the argmin: now a query on it decrements.
+  account.value_gained[0] = 0.0;
+  account.spent_per_keyword[0] = 10.0;  // roi 0 == keyword 1's roi (tie: both argmin)
+  bids.Clear();
+  strategy.MakeBids(MakeQuery(0, 5, 2), account, &bids);
+  EXPECT_DOUBLE_EQ(strategy.tentative_bids()[0], 1.0);
+}
+
+TEST(RoiStrategyTest, NeitherBranchWhenExactlyOnTarget) {
+  AdvertiserAccount account = MakeAccount({10}, 2.0);
+  account.amount_spent = 2.0;  // exactly rate * time at t = 1
+  RoiStrategy strategy({Formula::Click()});
+  BidsTable bids;
+  strategy.MakeBids(MakeQuery(0, 1, 1), account, &bids);
+  EXPECT_DOUBLE_EQ(strategy.tentative_bids()[0], 0.0);
+}
+
+TEST(RoiStrategyTest, EmitsQueriedKeywordRowOnly) {
+  AdvertiserAccount account = MakeAccount({10, 20}, 5.0);
+  RoiStrategy strategy({Formula::Click(), Formula::Click() && Formula::Slot(0)});
+  BidsTable bids;
+  strategy.MakeBids(MakeQuery(1, 1, 2), account, &bids);
+  ASSERT_EQ(bids.size(), 1u);
+  EXPECT_TRUE(bids.rows()[0].formula.StructurallyEquals(
+      Formula::Click() && Formula::Slot(0)));
+  EXPECT_DOUBLE_EQ(bids.rows()[0].value, 1.0);
+}
+
+TEST(RoiStrategyTest, SharedFormulaRowsSum) {
+  // Two keywords with the same formula and relevance > 0.7: values sum into
+  // a single row (lines 22-27 of Figure 5).
+  AdvertiserAccount account = MakeAccount({10, 10}, 5.0);
+  RoiStrategy strategy({Formula::Click(), Formula::Click()});
+  Query q = MakeQuery(0, 1, 2);
+  q.relevance[1] = 0.9;  // both keywords relevant this time
+  BidsTable bids;
+  strategy.MakeBids(q, account, &bids);
+  ASSERT_EQ(bids.size(), 1u);
+  // Keyword 0 ramped to 1 (queried, relevance 1); keyword 1 also has
+  // relevance > 0 and roi == max, so it ramps too; the row sums to 2.
+  EXPECT_DOUBLE_EQ(bids.rows()[0].value, 2.0);
+}
+
+}  // namespace
+}  // namespace ssa

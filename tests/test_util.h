@@ -1,0 +1,36 @@
+#ifndef SSA_TESTS_TEST_UTIL_H_
+#define SSA_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "core/expected_revenue.h"
+#include "util/rng.h"
+
+namespace ssa {
+namespace testing_util {
+
+/// Random marginal-weight matrix (advertiser-major), values in [lo, hi].
+inline std::vector<double> RandomWeights(int n, int k, Rng& rng,
+                                         double lo = 0.0, double hi = 10.0) {
+  std::vector<double> w(static_cast<size_t>(n) * k);
+  for (double& x : w) x = rng.Uniform(lo, hi);
+  return w;
+}
+
+/// Random revenue matrix with assigned entries in [0, hi] and unassigned
+/// baselines in [0, base_hi] (so marginal weights can be negative).
+inline RevenueMatrix RandomRevenueMatrix(int n, int k, Rng& rng,
+                                         double hi = 10.0,
+                                         double base_hi = 0.0) {
+  RevenueMatrix m(n, k);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) m.Set(i, j, rng.Uniform(0.0, hi));
+    if (base_hi > 0.0) m.SetUnassigned(i, rng.Uniform(0.0, base_hi));
+  }
+  return m;
+}
+
+}  // namespace testing_util
+}  // namespace ssa
+
+#endif  // SSA_TESTS_TEST_UTIL_H_

@@ -1,0 +1,154 @@
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/sorted_list.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace ssa {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.NextU64() == b.NextU64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x = rng.NextBounded(10);
+    EXPECT_LT(x, 10u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t x = rng.UniformInt(0, 50);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 50);
+    saw_lo |= (x == 0);
+    saw_hi |= (x == 50);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(StatsTest, MeanVarianceMinMax) {
+  SummaryStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StatsTest, Percentiles) {
+  SummaryStats s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+}
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  const Status s = Status::InvalidArgument("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad");
+}
+
+TEST(StatusOrTest, ValueAndStatus) {
+  StatusOr<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  StatusOr<int> bad(Status::NotFound("nope"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SortedKeyListTest, KeepsDescendingOrder) {
+  SortedKeyList list;
+  list.Insert(1, 5.0);
+  list.Insert(2, 9.0);
+  list.Insert(3, 7.0);
+  list.Insert(4, 7.0);  // tie: id ascending
+  ASSERT_EQ(list.size(), 4u);
+  EXPECT_EQ(list.At(0).id, 2);
+  EXPECT_EQ(list.At(1).id, 3);
+  EXPECT_EQ(list.At(2).id, 4);
+  EXPECT_EQ(list.At(3).id, 1);
+}
+
+TEST(SortedKeyListTest, EraseExactEntry) {
+  SortedKeyList list;
+  list.Insert(1, 5.0);
+  list.Insert(2, 5.0);
+  list.Erase(1, 5.0);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.Top().id, 2);
+}
+
+TEST(SortedKeyListTest, AssignSortedBulk) {
+  SortedKeyList list;
+  list.AssignSorted({{3.0, 7}, {2.0, 1}, {2.0, 5}});
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.Top().id, 7);
+  EXPECT_EQ(list.Bottom().id, 5);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(257, [&hits](int i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitIdleThenReuse) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(10, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+  pool.ParallelFor(10, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 20);
+}
+
+}  // namespace
+}  // namespace ssa

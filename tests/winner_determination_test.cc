@@ -1,0 +1,131 @@
+#include <algorithm>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/winner_determination.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ssa {
+namespace {
+
+RevenueMatrix Figure9Matrix() {
+  // Nike(9,5) Adidas(8,7) Reebok(7,6) Sketchers(7,4); zero baselines.
+  RevenueMatrix m(4, 2);
+  const double values[4][2] = {{9, 5}, {8, 7}, {7, 6}, {7, 4}};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 2; ++j) m.Set(i, j, values[i][j]);
+  }
+  return m;
+}
+
+TEST(WinnerDeterminationTest, MethodNames) {
+  EXPECT_EQ(WdMethodName(WdMethod::kLp), "LP");
+  EXPECT_EQ(WdMethodName(WdMethod::kHungarian), "H");
+  EXPECT_EQ(WdMethodName(WdMethod::kReducedHungarian), "RH");
+  EXPECT_EQ(WdMethodName(WdMethod::kBruteForce), "BF");
+}
+
+// Figures 9-11: the reduced graph keeps Nike, Adidas, Reebok (the per-slot
+// top-2 union) and drops Sketchers; the optimum is unchanged.
+TEST(WinnerDeterminationTest, Figure10ReducedGraphCandidates) {
+  RevenueMatrix m = Figure9Matrix();
+  std::vector<AdvertiserId> candidates = SelectTopPerSlotCandidates(m, 2);
+  // Slot 1 top-2: Nike(9), Adidas(8). Slot 2 top-2: Adidas(7), Reebok(6).
+  EXPECT_EQ(candidates, (std::vector<AdvertiserId>{0, 1, 2}));
+}
+
+TEST(WinnerDeterminationTest, Figure9AllMethodsAgree) {
+  RevenueMatrix m = Figure9Matrix();
+  for (WdMethod method : {WdMethod::kLp, WdMethod::kHungarian,
+                          WdMethod::kReducedHungarian, WdMethod::kBruteForce}) {
+    WdResult r = DetermineWinners(m, method);
+    EXPECT_DOUBLE_EQ(r.expected_revenue, 16.0) << WdMethodName(method);
+    EXPECT_EQ(r.allocation.slot_to_advertiser[0], 0);
+    EXPECT_EQ(r.allocation.slot_to_advertiser[1], 1);
+  }
+}
+
+TEST(WinnerDeterminationTest, UnassignedBaselineAddsConstant) {
+  RevenueMatrix m(2, 1);
+  m.Set(0, 0, 5);
+  m.Set(1, 0, 4);
+  m.SetUnassigned(0, 2);  // advertiser 0 pays 2 even when left out
+  m.SetUnassigned(1, 0);
+  WdResult r = DetermineWinners(m, WdMethod::kReducedHungarian);
+  // Marginals: adv0 -> 3, adv1 -> 4: assign adv1; revenue 4 + baseline 2.
+  EXPECT_EQ(r.allocation.slot_to_advertiser[0], 1);
+  EXPECT_DOUBLE_EQ(r.matching_weight, 4.0);
+  EXPECT_DOUBLE_EQ(r.expected_revenue, 6.0);
+}
+
+TEST(WinnerDeterminationTest, NegativeMarginalsLeaveSlotsEmpty) {
+  RevenueMatrix m(2, 2);
+  m.Set(0, 0, 1);
+  m.Set(0, 1, 0);
+  m.Set(1, 0, 2);
+  m.Set(1, 1, 1);
+  m.SetUnassigned(0, 5);  // both advertisers prefer staying out
+  m.SetUnassigned(1, 9);
+  WdResult r = DetermineWinners(m, WdMethod::kReducedHungarian);
+  EXPECT_EQ(r.allocation.NumAssigned(), 0);
+  EXPECT_DOUBLE_EQ(r.expected_revenue, 14.0);
+}
+
+TEST(WinnerDeterminationTest, TopPerSlotRespectsLimit) {
+  Rng rng(7);
+  RevenueMatrix m = testing_util::RandomRevenueMatrix(100, 5, rng);
+  std::vector<AdvertiserId> c1 = SelectTopPerSlotCandidates(m, 1);
+  EXPECT_LE(c1.size(), 5u);
+  std::vector<AdvertiserId> c5 = SelectTopPerSlotCandidates(m, 5);
+  EXPECT_LE(c5.size(), 25u);
+  EXPECT_TRUE(std::is_sorted(c5.begin(), c5.end()));
+  // Monotone: growing the per-slot budget only adds candidates.
+  for (AdvertiserId id : c1) {
+    EXPECT_TRUE(std::binary_search(c5.begin(), c5.end(), id));
+  }
+}
+
+// The paper's exchange argument: matching on the per-slot top-k union is
+// exactly optimal. Property-tested against the full Hungarian on random
+// instances with nonzero unassigned baselines.
+class WdAgreement : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WdAgreement, ReducedEqualsFullAndLp) {
+  const auto [n, k] = GetParam();
+  Rng rng(99 + 13 * n + k);
+  for (int trial = 0; trial < 15; ++trial) {
+    RevenueMatrix m = testing_util::RandomRevenueMatrix(n, k, rng, 10.0, 4.0);
+    const WdResult rh = DetermineWinners(m, WdMethod::kReducedHungarian);
+    const WdResult h = DetermineWinners(m, WdMethod::kHungarian);
+    EXPECT_NEAR(rh.expected_revenue, h.expected_revenue, 1e-7);
+    if (n <= 12) {
+      const WdResult lp = DetermineWinners(m, WdMethod::kLp);
+      const WdResult bf = DetermineWinners(m, WdMethod::kBruteForce);
+      EXPECT_NEAR(rh.expected_revenue, lp.expected_revenue, 1e-7);
+      EXPECT_NEAR(rh.expected_revenue, bf.expected_revenue, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WdAgreement,
+                         ::testing::Values(std::make_tuple(5, 3),
+                                           std::make_tuple(8, 4),
+                                           std::make_tuple(12, 3),
+                                           std::make_tuple(60, 5),
+                                           std::make_tuple(200, 8),
+                                           std::make_tuple(500, 15)));
+
+TEST(WinnerDeterminationTest, SolveOnCandidatesMatchesWhenSupersetGiven) {
+  Rng rng(31);
+  RevenueMatrix m = testing_util::RandomRevenueMatrix(50, 4, rng);
+  std::vector<AdvertiserId> all(50);
+  for (int i = 0; i < 50; ++i) all[i] = i;
+  const WdResult full = SolveOnCandidates(m, all);
+  const WdResult reduced = DetermineWinners(m, WdMethod::kReducedHungarian);
+  EXPECT_NEAR(full.expected_revenue, reduced.expected_revenue, 1e-9);
+}
+
+}  // namespace
+}  // namespace ssa
