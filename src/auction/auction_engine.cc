@@ -34,9 +34,17 @@ const AuctionOutcome& AuctionEngine::RunAuction() {
   }
   outcome_.program_eval_ms = timer.ElapsedMillis();
 
-  // --- Expected-revenue matrix (Theorem 2 construction).
+  // --- Expected-revenue matrix (Theorem 2 construction) over compiled
+  // bids. Tables whose content fingerprint is unchanged since the last
+  // auction reuse their cached compilation; the build itself streams over
+  // the flat rows (optionally across config_.matrix_pool).
   timer.Reset();
-  const RevenueMatrix revenue = BuildRevenueMatrix(bids_, model);
+  compiled_view_.clear();
+  for (AdvertiserId i = 0; i < n; ++i) {
+    compiled_view_.push_back(&bid_cache_.Get(i, bids_[i], k));
+  }
+  const RevenueMatrix revenue =
+      BuildRevenueMatrixCompiled(compiled_view_, model, config_.matrix_pool);
   outcome_.matrix_ms = timer.ElapsedMillis();
 
   // --- Step 4: winner determination.

@@ -7,11 +7,14 @@
 #include "auction/pricing.h"
 #include "auction/query_gen.h"
 #include "auction/workload.h"
+#include "core/compiled_bids.h"
 #include "core/winner_determination.h"
 #include "strategy/strategy.h"
 #include "util/common.h"
 
 namespace ssa {
+
+class ThreadPool;
 
 /// What happened to one filled slot after the page was served.
 struct UserEvent {
@@ -51,6 +54,10 @@ struct EngineConfig {
   /// Seed for the query stream and user-behavior simulation (independent of
   /// the workload seed so populations and traffic vary separately).
   uint64_t seed = 42;
+  /// Optional (non-owning) pool for the revenue-matrix build: advertiser
+  /// row blocks are filled in parallel. Output is identical either way
+  /// (disjoint rows, bitwise-deterministic kernels).
+  ThreadPool* matrix_pool = nullptr;
 };
 
 /// The eager auction engine: every advertiser's bidding program runs on
@@ -76,6 +83,9 @@ class AuctionEngine {
   const AuctionOutcome& last_outcome() const { return outcome_; }
   int64_t auctions_run() const { return auctions_run_; }
   Money total_revenue() const { return total_revenue_; }
+  /// Compiled-bids cache stats: strategies usually re-emit identical tables
+  /// for a keyword, so most auctions skip recompilation entirely.
+  const CompiledBidsCache& bid_cache() const { return bid_cache_; }
 
  private:
   EngineConfig config_;
@@ -84,6 +94,10 @@ class AuctionEngine {
   QueryGenerator query_gen_;
   Rng user_rng_;
   std::vector<BidsTable> bids_;  // reused across auctions
+  /// Compiled form of bids_, cached across auctions keyed on content
+  /// fingerprint (strategies that leave a table unchanged hit the cache).
+  CompiledBidsCache bid_cache_;
+  std::vector<const CompiledBids*> compiled_view_;  // reused across auctions
   AuctionOutcome outcome_;
   int64_t auctions_run_ = 0;
   Money total_revenue_ = 0;

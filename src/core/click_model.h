@@ -36,6 +36,16 @@ class ClickModel {
                                                  SlotIndex /*j*/) const {
     return 0.0;
   }
+
+  /// The full (click, purchase) distribution of advertiser i fixed in
+  /// `slot` (kNoSlot allowed), written to prob[4] indexed by
+  /// (clicked << 1) | purchased — the form the dense matrix kernels
+  /// consume. The default composes the three per-quantity virtuals above;
+  /// table-backed models override it to serve the row with a single bounds
+  /// check. Overrides must perform the identical arithmetic (the compiled
+  /// revenue-matrix path is asserted bitwise-equal to the tree walk).
+  virtual void OutcomeDistribution(AdvertiserId i, SlotIndex slot,
+                                   double prob[4]) const;
 };
 
 /// Click model backed by explicit per-(advertiser, slot) probability tables —
@@ -54,6 +64,8 @@ class MatrixClickModel : public ClickModel {
   double ClickProbability(AdvertiserId i, SlotIndex j) const override;
   double PurchaseProbabilityGivenClick(AdvertiserId i,
                                        SlotIndex j) const override;
+  void OutcomeDistribution(AdvertiserId i, SlotIndex slot,
+                           double prob[4]) const override;
 
  private:
   int n_;

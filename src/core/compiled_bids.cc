@@ -1,0 +1,269 @@
+#include "core/compiled_bids.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ssa {
+namespace {
+
+// 4-bit (click, purchase) masks, bit index b = (clicked << 1) | purchased.
+constexpr uint8_t kAlways = 0xF;
+constexpr uint8_t kNever = 0x0;
+constexpr uint8_t kClickMask = 0xC;     // bits 2, 3: clicked
+constexpr uint8_t kPurchaseMask = 0xA;  // bits 1, 3: purchased
+
+/// Bottom-up truth-table construction: one recursive walk of the formula
+/// tree, each node doing O(k) byte ops on (k + 1)-entry state vectors.
+/// Intermediate results live in a caller-owned arena of "bands" (one
+/// (k + 1)-byte table per recursion level, grown on demand); frames pass
+/// band *indices* across calls and re-derive pointers afterwards, so arena
+/// growth never leaves a dangling pointer and compilation performs no
+/// per-node allocations once the arena is warm. `heavy_mask` non-null
+/// resolves HeavyInSlot predicates to constants; null rejects them (the
+/// Theorem 2 fast path requires 1-dependence on own placement).
+class TruthCompiler {
+ public:
+  TruthCompiler(int num_slots, const uint32_t* heavy_mask,
+                std::vector<uint8_t>* bands)
+      : states_(num_slots + 1),  // k slots + unassigned
+        num_slots_(num_slots),
+        heavy_mask_(heavy_mask),
+        bands_(bands) {}
+
+  /// Writes the formula's truth table into out[0 .. num_slots], one 4-bit
+  /// (click, purchase) mask per slot state.
+  void CompileInto(const Formula& f, uint8_t* out) {
+    Eval(f, 0);
+    const uint8_t* result = Band(0);
+    for (int s = 0; s < states_; ++s) out[s] = result[s];
+  }
+
+ private:
+  /// Evaluates `f` into band `b` (bands below b hold ancestors' pending
+  /// left operands).
+  void Eval(const Formula& f, int b) {
+    const size_t needed = static_cast<size_t>(b + 1) * states_;
+    if (bands_->size() < needed) bands_->resize(needed);
+    switch (f.op()) {
+      case Formula::Op::kTrue:
+        Fill(Band(b), kAlways);
+        return;
+      case Formula::Op::kFalse:
+        Fill(Band(b), kNever);
+        return;
+      case Formula::Op::kSlot: {
+        uint8_t* band = Band(b);
+        Fill(band, kNever);
+        if (f.slot_arg() >= 0 && f.slot_arg() < num_slots_) {
+          band[f.slot_arg()] = kAlways;
+        }
+        return;
+      }
+      case Formula::Op::kClick:
+        Fill(Band(b), kClickMask);
+        return;
+      case Formula::Op::kPurchase:
+        Fill(Band(b), kPurchaseMask);
+        return;
+      case Formula::Op::kHeavyInSlot: {
+        SSA_CHECK_MSG(heavy_mask_ != nullptr,
+                      "heavyweight bids require CompileHeavy");
+        // Mirrors Formula::Evaluate: slots >= 32 are never heavy.
+        const bool heavy = f.slot_arg() < 32 &&
+                           ((*heavy_mask_ >> f.slot_arg()) & 1u) != 0;
+        Fill(Band(b), heavy ? kAlways : kNever);
+        return;
+      }
+      case Formula::Op::kNot: {
+        Eval(f.children()[0], b);
+        uint8_t* band = Band(b);  // re-derive: child may have grown the arena
+        for (int s = 0; s < states_; ++s) {
+          band[s] = static_cast<uint8_t>(~band[s] & kAlways);
+        }
+        return;
+      }
+      case Formula::Op::kAnd:
+      case Formula::Op::kOr: {
+        Eval(f.children()[0], b);
+        Eval(f.children()[1], b + 1);
+        uint8_t* left = Band(b);
+        const uint8_t* right = Band(b + 1);
+        if (f.op() == Formula::Op::kAnd) {
+          for (int s = 0; s < states_; ++s) left[s] &= right[s];
+        } else {
+          for (int s = 0; s < states_; ++s) left[s] |= right[s];
+        }
+        return;
+      }
+    }
+    SSA_CHECK_MSG(false, "corrupt formula node");
+  }
+
+  uint8_t* Band(int b) {
+    return bands_->data() + static_cast<size_t>(b) * states_;
+  }
+
+  void Fill(uint8_t* band, uint8_t value) {
+    for (int s = 0; s < states_; ++s) band[s] = value;
+  }
+
+  const int states_;
+  const int num_slots_;
+  const uint32_t* heavy_mask_;
+  std::vector<uint8_t>* bands_;
+};
+
+uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  // splitmix64-style mix of the incoming value, folded into the seed.
+  v += 0x9e3779b97f4a7c15ULL;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  v ^= v >> 31;
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+uint64_t HashFormula(const Formula& f, uint64_t seed) {
+  seed = HashCombine(seed, static_cast<uint64_t>(f.op()));
+  seed = HashCombine(seed, static_cast<uint64_t>(
+                               static_cast<int64_t>(f.slot_arg())));
+  for (const Formula& c : f.children()) seed = HashFormula(c, seed);
+  return seed;
+}
+
+uint64_t HashDouble(double x) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(x), "Money must be 64-bit");
+  __builtin_memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+void CompiledBids::CompileImpl(const BidsTable& bids, int num_slots,
+                               const uint32_t* heavy_mask) {
+  SSA_CHECK(num_slots >= 0);
+  k_ = num_slots;
+  resolves_heavy_ = heavy_mask != nullptr;
+  heavy_mask_ = heavy_mask != nullptr ? *heavy_mask : 0;
+  const size_t rows = bids.size();
+  const int states = num_slots + 1;
+  values_.clear();
+  values_.reserve(rows);
+  masks_.assign(static_cast<size_t>(states) * rows, kNever);
+  // Reused across rows, tables and auctions (each pool worker has its own):
+  // row_truth holds the current row's table, bands the compiler's operand
+  // arena.
+  thread_local std::vector<uint8_t> row_truth;
+  thread_local std::vector<uint8_t> bands;
+  if (row_truth.size() < static_cast<size_t>(states)) row_truth.resize(states);
+  TruthCompiler compiler(num_slots, heavy_mask, &bands);
+  for (size_t r = 0; r < rows; ++r) {
+    const BidRow& row = bids.rows()[r];
+    values_.push_back(row.value);
+    compiler.CompileInto(row.formula, row_truth.data());
+    for (int s = 0; s < states; ++s) {
+      masks_[static_cast<size_t>(s) * rows + r] = row_truth[s];
+    }
+  }
+}
+
+void CompiledBids::CompileFrom(const BidsTable& bids, int num_slots) {
+  // No DependsOnlyOnOwnPlacement() pre-walk: the compiler itself aborts on
+  // any HeavyInSlot node when no mask is supplied (same invariant, checked
+  // during the one walk compilation already does).
+  CompileImpl(bids, num_slots, nullptr);
+}
+
+void CompiledBids::CompileHeavyFrom(const BidsTable& bids, int num_slots,
+                                    uint32_t heavy_mask) {
+  CompileImpl(bids, num_slots, &heavy_mask);
+}
+
+CompiledBids CompiledBids::Compile(const BidsTable& bids, int num_slots) {
+  CompiledBids out;
+  out.CompileFrom(bids, num_slots);
+  return out;
+}
+
+CompiledBids CompiledBids::CompileHeavy(const BidsTable& bids, int num_slots,
+                                        uint32_t heavy_mask) {
+  CompiledBids out;
+  out.CompileHeavyFrom(bids, num_slots, heavy_mask);
+  return out;
+}
+
+Money CompiledBids::Payment(const AdvertiserOutcome& outcome) const {
+  if (resolves_heavy_) {
+    SSA_CHECK_MSG(outcome.heavy_slot_mask == heavy_mask_,
+                  "outcome mask differs from the compiled heavy mask");
+  }
+  const uint8_t* m = MasksForSlot(outcome.slot);
+  const int b = (outcome.clicked ? 2 : 0) | (outcome.purchased ? 1 : 0);
+  Money total = 0;
+  for (size_t r = 0; r < values_.size(); ++r) {
+    // value * {0,1} then += keeps the sum bitwise equal to the tree walk's
+    // conditional accumulation (values are non-negative, so no -0 hazards).
+    total += values_[r] * static_cast<double>((m[r] >> b) & 1);
+  }
+  return total;
+}
+
+Money CompiledBids::ExpectedPayment(SlotIndex slot,
+                                    const double prob[4]) const {
+  const uint8_t* m = MasksForSlot(slot);
+  const double* v = values_.data();
+  const size_t rows = values_.size();
+  // Four per-outcome payment accumulators filled in one branch-free pass
+  // over the contiguous rows; each equals Payment() for that outcome.
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  for (size_t r = 0; r < rows; ++r) {
+    const double value = v[r];
+    const uint8_t mask = m[r];
+    acc0 += value * static_cast<double>(mask & 1);
+    acc1 += value * static_cast<double>((mask >> 1) & 1);
+    acc2 += value * static_cast<double>((mask >> 2) & 1);
+    acc3 += value * static_cast<double>((mask >> 3) & 1);
+  }
+  const double acc[4] = {acc0, acc1, acc2, acc3};
+  // Same zero-skip and accumulation order as the tree-walking
+  // ExpectedPayment's (click, purchase) loop => bitwise-equal results.
+  Money expected = 0;
+  for (int b = 0; b < 4; ++b) {
+    if (prob[b] == 0.0) continue;
+    expected += prob[b] * acc[b];
+  }
+  return expected;
+}
+
+uint64_t FingerprintBids(const BidsTable& bids) {
+  uint64_t seed = HashCombine(0x55a0f00d, bids.size());
+  for (const BidRow& row : bids.rows()) {
+    seed = HashFormula(row.formula, seed);
+    seed = HashCombine(seed, HashDouble(row.value));
+  }
+  return seed;
+}
+
+const CompiledBids& CompiledBidsCache::Get(AdvertiserId i,
+                                           const BidsTable& bids,
+                                           int num_slots) {
+  SSA_CHECK(i >= 0);
+  if (static_cast<size_t>(i) >= entries_.size()) {
+    entries_.resize(static_cast<size_t>(i) + 1);
+  }
+  Entry& entry = entries_[i];
+  const uint64_t fingerprint = FingerprintBids(bids);
+  if (entry.valid && entry.fingerprint == fingerprint &&
+      entry.num_slots == num_slots) {
+    ++hits_;
+    return entry.compiled;
+  }
+  ++misses_;
+  entry.compiled.CompileFrom(bids, num_slots);  // in place: reuses buffers
+  entry.fingerprint = fingerprint;
+  entry.num_slots = num_slots;
+  entry.valid = true;
+  return entry.compiled;
+}
+
+}  // namespace ssa

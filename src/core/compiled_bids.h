@@ -1,0 +1,132 @@
+#ifndef SSA_CORE_COMPILED_BIDS_H_
+#define SSA_CORE_COMPILED_BIDS_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/bids_table.h"
+#include "core/outcome.h"
+#include "util/common.h"
+
+namespace ssa {
+
+/// Compiled form of one advertiser's BidsTable: every row's Formula tree is
+/// flattened into a truth table over the 1-dependent outcome space — one
+/// 4-bit (click, purchase) mask per slot state. The slot states are the k
+/// slots plus "unassigned", so a row costs (k + 1) bytes plus its value.
+///
+/// This turns ExpectedPayment from a recursive shared_ptr tree walk (up to
+/// one walk per (click, purchase) outcome) into a branch-free dot product of
+/// contiguous row values against four accumulators, and makes the Theorem 2
+/// revenue-matrix construction stream over flat arrays. Compilation itself
+/// is a single bottom-up walk per row (each node costs O(k) byte ops), so it
+/// amortizes after roughly one ExpectedPayment call.
+///
+/// Numerical contract: the compiled evaluators reproduce the tree-walking
+/// `BidsTable::Payment` / `ExpectedPayment` results *bit for bit* — values
+/// accumulate in row order and the outcome probabilities are applied in the
+/// same order with the same zero-skipping, so the compiled path is a pure
+/// representation change (the equivalence tests assert exact equality).
+class CompiledBids {
+ public:
+  CompiledBids() = default;
+
+  /// Compiles `bids` for a page with `num_slots` slots. Requires
+  /// bids.DependsOnlyOnOwnPlacement() (same precondition as ExpectedPayment);
+  /// rows mentioning slots >= num_slots compile to "never true in that slot"
+  /// exactly like the tree evaluation over in-range outcomes.
+  static CompiledBids Compile(const BidsTable& bids, int num_slots);
+
+  /// Section III-F variant: HeavyInSlot predicates are resolved against the
+  /// fixed `heavy_mask` (bit j set => slot j holds a heavyweight), so the
+  /// compiled rows are valid for per-subset evaluations under exactly that
+  /// mask.
+  static CompiledBids CompileHeavy(const BidsTable& bids, int num_slots,
+                                   uint32_t heavy_mask);
+
+  /// In-place recompilation reusing this object's buffers — the zero-
+  /// allocation path for compile-and-discard loops (BuildRevenueMatrix over
+  /// raw tables keeps one scratch CompiledBids per worker).
+  void CompileFrom(const BidsTable& bids, int num_slots);
+  void CompileHeavyFrom(const BidsTable& bids, int num_slots,
+                        uint32_t heavy_mask);
+
+  int num_slots() const { return k_; }
+  size_t num_rows() const { return values_.size(); }
+
+  /// Payment under a concrete outcome — bitwise equal to
+  /// BidsTable::Payment for outcomes with slot in [0, num_slots) or kNoSlot
+  /// (and, for CompileHeavy, outcome.heavy_slot_mask == the compiled mask).
+  Money Payment(const AdvertiserOutcome& outcome) const;
+
+  /// Expected payment given the advertiser's slot (kNoSlot allowed) and the
+  /// (click, purchase) distribution `prob`, indexed by
+  /// (clicked << 1) | purchased. Bitwise equal to the tree-walking
+  /// ExpectedPayment when `prob` comes from OutcomeProbabilities /
+  /// HeavyOutcomeProbabilities.
+  Money ExpectedPayment(SlotIndex slot, const double prob[4]) const;
+
+  /// Dense-kernel access: row values and the per-slot mask column
+  /// (`slot == kNoSlot` selects the unassigned state). One byte per row.
+  const double* values() const { return values_.data(); }
+  const uint8_t* MasksForSlot(SlotIndex slot) const {
+    return masks_.data() + static_cast<size_t>(StateIndex(slot)) * num_rows();
+  }
+
+ private:
+  void CompileImpl(const BidsTable& bids, int num_slots,
+                   const uint32_t* heavy_mask);
+
+  int StateIndex(SlotIndex slot) const {
+    SSA_CHECK(slot == kNoSlot || (slot >= 0 && slot < k_));
+    return slot == kNoSlot ? k_ : slot;
+  }
+
+  int k_ = 0;
+  bool resolves_heavy_ = false;
+  uint32_t heavy_mask_ = 0;
+  std::vector<double> values_;  // one entry per row, in table order
+  /// Truth tables, slot-state-major: masks_[s * num_rows + r] is row r's
+  /// 4-bit (click, purchase) mask in state s (s == k_ is "unassigned").
+  std::vector<uint8_t> masks_;
+};
+
+/// Order-sensitive content fingerprint of a BidsTable (formula structure +
+/// row values). Strategies usually re-emit identical tables for a keyword,
+/// so the engine keys its compiled-bids cache on this 64-bit hash; a
+/// collision would silently reuse a stale compilation, but at 64 bits that
+/// is vanishingly unlikely for auction-sized populations.
+uint64_t FingerprintBids(const BidsTable& bids);
+
+/// Per-advertiser cache of compiled bids keyed on content fingerprint —
+/// AuctionEngine keeps one across auctions so unchanged tables are never
+/// recompiled.
+class CompiledBidsCache {
+ public:
+  /// Returns the compiled form of `bids` for advertiser slot `i`, reusing
+  /// the cached compilation when fingerprint and num_slots both match. The
+  /// returned reference stays valid until the next Get(i, ...) call *for the
+  /// same advertiser* (entries live in a deque, so growing the cache for
+  /// other advertisers never moves them).
+  const CompiledBids& Get(AdvertiserId i, const BidsTable& bids,
+                          int num_slots);
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    uint64_t fingerprint = 0;
+    int num_slots = -1;
+    CompiledBids compiled;
+  };
+  std::deque<Entry> entries_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_CORE_COMPILED_BIDS_H_

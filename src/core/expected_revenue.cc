@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "util/thread_pool.h"
+
 namespace ssa {
 
 RevenueMatrix::RevenueMatrix(int num_advertisers, int num_slots)
@@ -16,43 +18,81 @@ double RevenueMatrix::UnassignedTotal() const {
   return std::accumulate(unassigned_.begin(), unassigned_.end(), 0.0);
 }
 
+void OutcomeProbabilities(const ClickModel& model, AdvertiserId i,
+                          SlotIndex slot, double prob[4]) {
+  // With the slot fixed, only the (click, purchase) pair is random. An
+  // unassigned ad is never displayed, hence never clicked; purchases require
+  // the ad's link, so the no-click purchase probability applies only when
+  // displayed (and defaults to zero). Virtual so table-backed models can
+  // serve the whole distribution with one dispatch.
+  model.OutcomeDistribution(i, slot, prob);
+}
+
 Money ExpectedPayment(const BidsTable& bids, const ClickModel& model,
                       AdvertiserId i, SlotIndex slot) {
   SSA_CHECK_MSG(bids.DependsOnlyOnOwnPlacement(),
                 "heavyweight bids require the Section III-F solver");
-  const bool assigned = slot != kNoSlot;
-  // With the slot fixed, only the (click, purchase) pair is random. An
-  // unassigned ad is never displayed, hence never clicked; purchases require
-  // the ad's link, so the no-click purchase probability applies only when
-  // displayed (and defaults to zero).
-  const double pc = assigned ? model.ClickProbability(i, slot) : 0.0;
-  const double ppc =
-      assigned ? model.PurchaseProbabilityGivenClick(i, slot) : 0.0;
-  const double ppn =
-      assigned ? model.PurchaseProbabilityGivenNoClick(i, slot) : 0.0;
-
-  const double prob[2][2] = {
-      // [clicked][purchased]
-      {(1.0 - pc) * (1.0 - ppn), (1.0 - pc) * ppn},
-      {pc * (1.0 - ppc), pc * ppc},
-  };
+  double prob[4];
+  OutcomeProbabilities(model, i, slot, prob);
 
   Money expected = 0;
   AdvertiserOutcome outcome;
   outcome.slot = slot;
-  for (int c = 0; c < 2; ++c) {
-    for (int p = 0; p < 2; ++p) {
-      if (prob[c][p] == 0.0) continue;
-      outcome.clicked = (c == 1);
-      outcome.purchased = (p == 1);
-      expected += prob[c][p] * bids.Payment(outcome);
-    }
+  for (int b = 0; b < 4; ++b) {
+    if (prob[b] == 0.0) continue;
+    outcome.clicked = (b & 2) != 0;
+    outcome.purchased = (b & 1) != 0;
+    expected += prob[b] * bids.Payment(outcome);
   }
   return expected;
 }
 
+namespace {
+
+/// Fills advertiser i's row (k assigned entries + the unassigned baseline)
+/// from its compiled rows: per slot, one branch-free pass over contiguous
+/// values/masks.
+void FillCompiledRow(const CompiledBids& compiled, const ClickModel& model,
+                     RevenueMatrix* matrix, AdvertiserId i) {
+  const int k = matrix->num_slots();
+  double prob[4];
+  double* row = matrix->MutableRow(i);
+  for (SlotIndex j = 0; j < k; ++j) {
+    OutcomeProbabilities(model, i, j, prob);
+    row[j] = compiled.ExpectedPayment(j, prob);
+  }
+  OutcomeProbabilities(model, i, kNoSlot, prob);
+  matrix->MutableUnassignedData()[i] = compiled.ExpectedPayment(kNoSlot, prob);
+}
+
+}  // namespace
+
 RevenueMatrix BuildRevenueMatrix(const std::vector<BidsTable>& bids,
-                                 const ClickModel& model) {
+                                 const ClickModel& model, ThreadPool* pool) {
+  const int n = static_cast<int>(bids.size());
+  const int k = model.num_slots();
+  SSA_CHECK(model.num_advertisers() >= n);
+  RevenueMatrix matrix(n, k);
+  auto fill_range = [&](int begin, int end) {
+    // Compile-and-use per advertiser: one tree walk per row, then dense
+    // evaluation; the compiled rows stay hot in cache for all k+1 states.
+    // One scratch CompiledBids per worker keeps the loop allocation-free.
+    thread_local CompiledBids compiled;
+    for (AdvertiserId i = begin; i < end; ++i) {
+      compiled.CompileFrom(bids[i], k);
+      FillCompiledRow(compiled, model, &matrix, i);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunks(n, fill_range);
+  } else {
+    fill_range(0, n);
+  }
+  return matrix;
+}
+
+RevenueMatrix BuildRevenueMatrixBaseline(const std::vector<BidsTable>& bids,
+                                         const ClickModel& model) {
   const int n = static_cast<int>(bids.size());
   const int k = model.num_slots();
   SSA_CHECK(model.num_advertisers() >= n);
@@ -62,6 +102,27 @@ RevenueMatrix BuildRevenueMatrix(const std::vector<BidsTable>& bids,
       matrix.Set(i, j, ExpectedPayment(bids[i], model, i, j));
     }
     matrix.SetUnassigned(i, ExpectedPayment(bids[i], model, i, kNoSlot));
+  }
+  return matrix;
+}
+
+RevenueMatrix BuildRevenueMatrixCompiled(
+    const std::vector<const CompiledBids*>& bids, const ClickModel& model,
+    ThreadPool* pool) {
+  const int n = static_cast<int>(bids.size());
+  const int k = model.num_slots();
+  SSA_CHECK(model.num_advertisers() >= n);
+  RevenueMatrix matrix(n, k);
+  auto fill_range = [&](int begin, int end) {
+    for (AdvertiserId i = begin; i < end; ++i) {
+      SSA_CHECK(bids[i] != nullptr && bids[i]->num_slots() == k);
+      FillCompiledRow(*bids[i], model, &matrix, i);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunks(n, fill_range);
+  } else {
+    fill_range(0, n);
   }
   return matrix;
 }

@@ -5,9 +5,12 @@
 
 #include "core/bids_table.h"
 #include "core/click_model.h"
+#include "core/compiled_bids.h"
 #include "util/common.h"
 
 namespace ssa {
+
+class ThreadPool;
 
 /// The expected-revenue table of Theorem 2's proof: entry (i, j) is the
 /// expected payment (assuming advertisers pay what they bid) from assigning
@@ -52,6 +55,24 @@ class RevenueMatrix {
   /// matching kernels.
   const std::vector<double>& assigned() const { return assigned_; }
 
+  // -- Unchecked accessors for the dense kernels ----------------------------
+  // Bounds are validated once at construction; the hot loops
+  // (BuildRevenueMatrix, SelectTopPerSlotCandidates, the tree top-k leaves,
+  // MarginalWeights) stream over raw rows without per-element SSA_CHECKs.
+  // The checked At()/Set() accessors remain for construction boundaries and
+  // tests.
+
+  /// Pointer to advertiser i's k assigned-revenue entries.
+  const double* Row(AdvertiserId i) const {
+    return assigned_.data() + static_cast<size_t>(i) * k_;
+  }
+  double* MutableRow(AdvertiserId i) {
+    return assigned_.data() + static_cast<size_t>(i) * k_;
+  }
+  /// Pointer to the n unassigned baselines r_i(⊥).
+  const double* UnassignedData() const { return unassigned_.data(); }
+  double* MutableUnassignedData() { return unassigned_.data(); }
+
  private:
   size_t Index(AdvertiserId i, SlotIndex j) const {
     SSA_CHECK(i >= 0 && i < n_ && j >= 0 && j < k_);
@@ -68,17 +89,43 @@ class RevenueMatrix {
   std::vector<double> unassigned_;
 };
 
+/// The (click, purchase) distribution of advertiser i fixed in `slot`
+/// (kNoSlot allowed), written to `prob[4]` indexed by
+/// (clicked << 1) | purchased — exactly the probabilities ExpectedPayment
+/// marginalizes over. Shared by the tree-walking and compiled evaluators so
+/// both perform identical arithmetic.
+void OutcomeProbabilities(const ClickModel& model, AdvertiserId i,
+                          SlotIndex slot, double prob[4]);
+
 /// Expected payment of one advertiser's OR-bid given a fixed slot (or
 /// kNoSlot), marginalizing over the click/purchase distribution of `model`.
 /// Requires bids.DependsOnlyOnOwnPlacement() (heavyweight formulas take the
-/// Section III-F path in core/heavyweight.h).
+/// Section III-F path in core/heavyweight.h). Tree-walking reference
+/// implementation; the hot paths use CompiledBids.
 Money ExpectedPayment(const BidsTable& bids, const ClickModel& model,
                       AdvertiserId i, SlotIndex slot);
 
 /// Builds the full n x k (+ unassigned) revenue matrix from every
-/// advertiser's Bids table. O(n * k * formula size).
+/// advertiser's Bids table. Compiles each table to flat truth tables first,
+/// then streams over contiguous arrays — bitwise-identical results to the
+/// tree-walking baseline, at a fraction of the cost. With `pool` non-null
+/// the per-advertiser rows are filled in parallel (the output is identical;
+/// rows are disjoint).
 RevenueMatrix BuildRevenueMatrix(const std::vector<BidsTable>& bids,
-                                 const ClickModel& model);
+                                 const ClickModel& model,
+                                 ThreadPool* pool = nullptr);
+
+/// The pre-compilation tree-walking construction: one recursive
+/// Formula::Evaluate walk per (row, slot, outcome). O(n * k * formula size)
+/// with heavy pointer chasing — kept as the equivalence/benchmark baseline.
+RevenueMatrix BuildRevenueMatrixBaseline(const std::vector<BidsTable>& bids,
+                                         const ClickModel& model);
+
+/// Dense construction over pre-compiled bids (the engine's cached-bids hot
+/// path). Every entry of `bids` must be compiled for model.num_slots().
+RevenueMatrix BuildRevenueMatrixCompiled(
+    const std::vector<const CompiledBids*>& bids, const ClickModel& model,
+    ThreadPool* pool = nullptr);
 
 }  // namespace ssa
 

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <utility>
 
+#include "core/compiled_bids.h"
 #include "matching/hungarian.h"
 
 namespace ssa {
@@ -55,28 +56,42 @@ double TableHeavyClickModel::ClickProbability(AdvertiserId i, SlotIndex j,
   return click_[((static_cast<size_t>(i) * k_ + j) << k_) + heavy_mask];
 }
 
+namespace {
+
+/// The (click, purchase) distribution under the heavyweight model, indexed
+/// by (clicked << 1) | purchased — the heavy analogue of
+/// OutcomeProbabilities (no purchase without a click in this model).
+void HeavyOutcomeProbabilities(const HeavyAwareClickModel& model,
+                               AdvertiserId i, SlotIndex slot,
+                               uint32_t heavy_mask, double prob[4]) {
+  const bool assigned = slot != kNoSlot;
+  const double pc =
+      assigned ? model.ClickProbability(i, slot, heavy_mask) : 0.0;
+  const double ppc =
+      assigned ? model.PurchaseProbabilityGivenClick(i, slot, heavy_mask)
+               : 0.0;
+  prob[0] = 1.0 - pc;
+  prob[1] = 0.0;
+  prob[2] = pc * (1.0 - ppc);
+  prob[3] = pc * ppc;
+}
+
+}  // namespace
+
 Money ExpectedPaymentHeavy(const BidsTable& bids,
                            const HeavyAwareClickModel& model, AdvertiserId i,
                            SlotIndex slot, uint32_t heavy_mask) {
-  const bool assigned = slot != kNoSlot;
-  const double pc = assigned ? model.ClickProbability(i, slot, heavy_mask) : 0.0;
-  const double ppc =
-      assigned ? model.PurchaseProbabilityGivenClick(i, slot, heavy_mask) : 0.0;
-  const double prob[2][2] = {
-      {1.0 - pc, 0.0},
-      {pc * (1.0 - ppc), pc * ppc},
-  };
+  double prob[4];
+  HeavyOutcomeProbabilities(model, i, slot, heavy_mask, prob);
   Money expected = 0;
   AdvertiserOutcome outcome;
   outcome.slot = slot;
   outcome.heavy_slot_mask = heavy_mask;
-  for (int c = 0; c < 2; ++c) {
-    for (int p = 0; p < 2; ++p) {
-      if (prob[c][p] == 0.0) continue;
-      outcome.clicked = (c == 1);
-      outcome.purchased = (p == 1);
-      expected += prob[c][p] * bids.Payment(outcome);
-    }
+  for (int b = 0; b < 4; ++b) {
+    if (prob[b] == 0.0) continue;
+    outcome.clicked = (b & 2) != 0;
+    outcome.purchased = (b & 1) != 0;
+    expected += prob[b] * bids.Payment(outcome);
   }
   return expected;
 }
@@ -104,12 +119,30 @@ double SolveForMask(const std::vector<BidsTable>& bids,
     return -std::numeric_limits<double>::infinity();
   }
 
+  // Compile every bid against this mask once (HeavyInSlot predicates become
+  // constants): a single tree walk per row, after which the per-subset
+  // evaluations below — baselines plus one entry per (advertiser, slot) of
+  // its class — are branch-free dot products over the same flat rows,
+  // bitwise equal to the tree-walking ExpectedPaymentHeavy. The scratch
+  // vector is per worker and recompiled in place, so the 2^k-mask sweep
+  // reuses the same buffers instead of allocating n tables per mask.
+  thread_local std::vector<CompiledBids> compiled;
+  if (static_cast<int>(compiled.size()) < n) compiled.resize(n);
+  for (AdvertiserId i = 0; i < n; ++i) {
+    compiled[i].CompileHeavyFrom(bids[i], k, mask);
+  }
+  auto expected_payment = [&](AdvertiserId i, SlotIndex slot) {
+    double prob[4];
+    HeavyOutcomeProbabilities(model, i, slot, mask, prob);
+    return compiled[i].ExpectedPayment(slot, prob);
+  };
+
   // Unassigned baselines depend on the mask (formulas may mention
   // HeavyInSlot even when the advertiser gets no slot).
   double total = 0.0;
   std::vector<double> baseline(n);
   for (AdvertiserId i = 0; i < n; ++i) {
-    baseline[i] = ExpectedPaymentHeavy(bids[i], model, i, kNoSlot, mask);
+    baseline[i] = expected_payment(i, kNoSlot);
     total += baseline[i];
   }
 
@@ -125,8 +158,7 @@ double SolveForMask(const std::vector<BidsTable>& bids,
       const AdvertiserId i = heavy_ids[a];
       for (int s = 0; s < h; ++s) {
         w[static_cast<size_t>(a) * h + s] =
-            ExpectedPaymentHeavy(bids[i], model, i, heavy_slots[s], mask) -
-            baseline[i];
+            expected_payment(i, heavy_slots[s]) - baseline[i];
       }
     }
     std::vector<AdvertiserId> all(nh);
@@ -152,8 +184,7 @@ double SolveForMask(const std::vector<BidsTable>& bids,
       const AdvertiserId i = light_ids[a];
       for (int s = 0; s < l; ++s) {
         w[static_cast<size_t>(a) * l + s] =
-            ExpectedPaymentHeavy(bids[i], model, i, light_slots[s], mask) -
-            baseline[i];
+            expected_payment(i, light_slots[s]) - baseline[i];
       }
     }
     Allocation sub = MaxWeightMatchingDense(w, nl, l);

@@ -1,9 +1,9 @@
 #include "core/parallel_topk.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "util/timer.h"
+#include "util/topk_heap.h"
 
 namespace ssa {
 namespace {
@@ -16,32 +16,30 @@ struct NodeState {
 };
 
 /// Leaf computation: local per-slot top-k over an advertiser range via
-/// size-k min-heaps — O((hi-lo) * k log k).
+/// size-k min-heaps — O((hi-lo) * k log k). All k heaps live in one
+/// thread-local flat buffer (each pool worker reuses its own across leaves
+/// and auctions), and the revenue matrix is streamed advertiser-major via
+/// the unchecked row pointers, so the scan is allocation-free and
+/// cache-friendly. The retained per-slot sets are identical to the previous
+/// priority_queue implementation (same strict (weight, id) pair order).
 NodeState ComputeLeaf(const RevenueMatrix& revenue, AdvertiserId lo,
                       AdvertiserId hi) {
   const int k = revenue.num_slots();
   NodeState state;
   state.per_slot.resize(k);
-  using Entry = std::pair<double, AdvertiserId>;
-  for (SlotIndex j = 0; j < k; ++j) {
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
-    for (AdvertiserId i = lo; i < hi; ++i) {
-      const double w = revenue.At(i, j) - revenue.AtUnassigned(i);
+  thread_local TopKHeapSet heaps;
+  heaps.Reset(k, std::max(k, 1));
+  const double* base = revenue.UnassignedData();
+  for (AdvertiserId i = lo; i < hi; ++i) {
+    const double* row = revenue.Row(i);
+    for (SlotIndex j = 0; j < k; ++j) {
+      const double w = row[j] - base[i];
       if (w <= 0.0) continue;
-      if (static_cast<int>(heap.size()) < k) {
-        heap.emplace(w, i);
-      } else if (heap.top() < Entry(w, i)) {  // (weight, id) pair order
-        heap.pop();
-        heap.emplace(w, i);
-      }
+      heaps.Offer(j, w, i);
     }
-    auto& list = state.per_slot[j];
-    list.reserve(heap.size());
-    while (!heap.empty()) {
-      list.push_back(heap.top());
-      heap.pop();
-    }
-    std::sort(list.rbegin(), list.rend());
+  }
+  for (SlotIndex j = 0; j < k; ++j) {
+    heaps.ExtractDescending(j, &state.per_slot[j]);
   }
   return state;
 }

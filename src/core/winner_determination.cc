@@ -1,12 +1,12 @@
 #include "core/winner_determination.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "lp/assignment_lp.h"
 #include "matching/brute_force.h"
 #include "matching/hungarian.h"
 #include "matching/munkres.h"
+#include "util/topk_heap.h"
 
 namespace ssa {
 
@@ -28,11 +28,11 @@ std::vector<double> MarginalWeights(const RevenueMatrix& revenue) {
   const int n = revenue.num_advertisers();
   const int k = revenue.num_slots();
   std::vector<double> w(static_cast<size_t>(n) * k);
+  const double* base = revenue.UnassignedData();
   for (AdvertiserId i = 0; i < n; ++i) {
-    const double base = revenue.AtUnassigned(i);
-    for (SlotIndex j = 0; j < k; ++j) {
-      w[static_cast<size_t>(i) * k + j] = revenue.At(i, j) - base;
-    }
+    const double* row = revenue.Row(i);
+    double* out = w.data() + static_cast<size_t>(i) * k;
+    for (SlotIndex j = 0; j < k; ++j) out[j] = row[j] - base[i];
   }
   return w;
 }
@@ -45,37 +45,31 @@ std::vector<AdvertiserId> SelectTopPerSlotCandidates(
 
   // One size-bounded min-heap per slot over (weight, advertiser). The root
   // is the weakest of the current top `per_slot`, so each of the n*k entries
-  // costs O(log per_slot) — the O(nk log k) term of Section III-E.
-  using HeapEntry = std::pair<double, AdvertiserId>;
-  std::vector<std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                                  std::greater<HeapEntry>>>
-      heaps(k);
+  // costs O(log per_slot) — the O(nk log k) term of Section III-E. The k
+  // heaps live in one thread-local flat buffer reused across auctions (no
+  // per-call priority_queue allocations); Offer() applies the strict
+  // (weight, id) pair order, deterministic and insertion-order independent,
+  // so the Threshold Algorithm pipeline selects the identical candidate set
+  // (equivalence tests rely on this).
+  thread_local TopKHeapSet heaps;
+  heaps.Reset(k, per_slot);
+  const double* base = revenue.UnassignedData();
   for (AdvertiserId i = 0; i < n; ++i) {
-    const double base = revenue.AtUnassigned(i);
+    const double* row = revenue.Row(i);
     for (SlotIndex j = 0; j < k; ++j) {
-      const double w = revenue.At(i, j) - base;
+      const double w = row[j] - base[i];
       if (w <= 0.0) continue;  // never beats leaving the slot empty
-      auto& heap = heaps[j];
-      if (static_cast<int>(heap.size()) < per_slot) {
-        heap.emplace(w, i);
-      } else if (heap.top() < HeapEntry(w, i)) {
-        // Strict (weight, id) pair ordering: deterministic and
-        // insertion-order independent, so the Threshold Algorithm pipeline
-        // selects the identical candidate set (equivalence tests rely on
-        // this).
-        heap.pop();
-        heap.emplace(w, i);
-      }
+      heaps.Offer(j, w, i);
     }
   }
 
   std::vector<char> seen(n, 0);
   std::vector<AdvertiserId> candidates;
   candidates.reserve(static_cast<size_t>(k) * per_slot);
-  for (auto& heap : heaps) {
-    while (!heap.empty()) {
-      const AdvertiserId i = heap.top().second;
-      heap.pop();
+  for (SlotIndex j = 0; j < k; ++j) {
+    const TopKHeapSet::Entry* entries = heaps.entries(j);
+    for (int e = 0; e < heaps.size(j); ++e) {
+      const AdvertiserId i = entries[e].id;
       if (!seen[i]) {
         seen[i] = 1;
         candidates.push_back(i);

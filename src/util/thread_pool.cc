@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
-#include <atomic>
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <utility>
 
@@ -39,19 +40,20 @@ void ThreadPool::WaitIdle() {
 }
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  ParallelForChunks(n, [&fn](int begin, int end) {
+    for (int i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForChunks(int n,
+                                   const std::function<void(int, int)>& fn) {
   if (n <= 0) return;
-  // Static chunking: one contiguous range per worker keeps scheduling
-  // overhead negligible for the fine-grained matching subproblems.
-  const int chunks = std::min<int>(n, num_threads());
-  std::atomic<int> next{0};
+  const int chunks = std::min<int>(n, 4 * num_threads());
   for (int c = 0; c < chunks; ++c) {
-    Submit([&, n] {
-      for (;;) {
-        int i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        fn(i);
-      }
-    });
+    const int begin = static_cast<int>(static_cast<int64_t>(n) * c / chunks);
+    const int end =
+        static_cast<int>(static_cast<int64_t>(n) * (c + 1) / chunks);
+    Submit([&fn, begin, end] { fn(begin, end); });
   }
   WaitIdle();
 }

@@ -31,7 +31,17 @@ class ThreadPool {
   void WaitIdle();
 
   /// Convenience: runs fn(i) for i in [0, n) across the pool and waits.
+  /// Implemented on top of ParallelForChunks, so the pool sees one task per
+  /// chunk (≈4x threads), not one heap-allocated std::function per index.
   void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  /// Partitions [0, n) into ~4x num_threads() contiguous ranges and runs
+  /// fn(begin, end) once per range on the pool, then waits. The over-
+  /// decomposition (4x) keeps workers load-balanced when range costs are
+  /// uneven while submission stays O(threads), and contiguous ranges let
+  /// dense kernels (revenue-matrix blocks, tree top-k leaves) stream
+  /// cache-friendly rows.
+  void ParallelForChunks(int n, const std::function<void(int, int)>& fn);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 

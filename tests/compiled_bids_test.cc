@@ -1,0 +1,267 @@
+// Property tests for the bid-compilation layer: compiled payments and
+// expected payments must equal the tree-walking BidsTable evaluation *bit
+// for bit* on randomized formulas (the compiled path is a pure
+// representation change), and the engine's fingerprint cache must
+// invalidate exactly when table content changes.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/click_model.h"
+#include "core/compiled_bids.h"
+#include "core/expected_revenue.h"
+#include "core/heavyweight.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ssa {
+namespace {
+
+/// Random formula over Slot/Click/Purchase (and optionally HeavyInSlot)
+/// with bounded depth — the lang_fuzz_test generator recipe applied to the
+/// bid-formula language. Slot arguments deliberately range one past
+/// `num_slots` to exercise out-of-range predicates (never true on a k-slot
+/// page).
+Formula RandomFormula(Rng& rng, int depth, int num_slots, bool allow_heavy) {
+  if (depth == 0 || rng.Bernoulli(0.35)) {
+    switch (rng.NextBounded(allow_heavy ? 6 : 5)) {
+      case 0:
+        return Formula::True();
+      case 1:
+        return Formula::False();
+      case 2:
+        return Formula::Click();
+      case 3:
+        return Formula::Purchase();
+      case 4:
+        return Formula::Slot(
+            static_cast<SlotIndex>(rng.NextBounded(num_slots + 1)));
+      default:
+        return Formula::HeavyInSlot(
+            static_cast<SlotIndex>(rng.NextBounded(num_slots + 1)));
+    }
+  }
+  switch (rng.NextBounded(3)) {
+    case 0:
+      return !RandomFormula(rng, depth - 1, num_slots, allow_heavy);
+    case 1:
+      return RandomFormula(rng, depth - 1, num_slots, allow_heavy) &&
+             RandomFormula(rng, depth - 1, num_slots, allow_heavy);
+    default:
+      return RandomFormula(rng, depth - 1, num_slots, allow_heavy) ||
+             RandomFormula(rng, depth - 1, num_slots, allow_heavy);
+  }
+}
+
+BidsTable RandomTable(Rng& rng, int num_slots, bool allow_heavy) {
+  BidsTable bids;
+  const int rows = static_cast<int>(rng.NextBounded(7));  // 0..6, empty ok
+  for (int r = 0; r < rows; ++r) {
+    bids.AddBid(RandomFormula(rng, 4, num_slots, allow_heavy),
+                static_cast<Money>(rng.UniformInt(0, 50)));
+  }
+  return bids;
+}
+
+MatrixClickModel RandomModel(Rng& rng, int n, int k) {
+  std::vector<double> click(static_cast<size_t>(n) * k);
+  std::vector<double> purchase(static_cast<size_t>(n) * k);
+  for (auto& p : click) {
+    // Include exact zeros: the evaluators' zero-probability skip must agree.
+    p = rng.Bernoulli(0.2) ? 0.0 : rng.Uniform(0.0, 1.0);
+  }
+  for (auto& p : purchase) p = rng.Bernoulli(0.5) ? 0.0 : rng.Uniform(0.0, 1.0);
+  return MatrixClickModel(n, k, click, purchase);
+}
+
+TEST(CompiledBidsTest, PaymentMatchesTreeWalkOnRandomFormulas) {
+  Rng rng(20260729);
+  for (int iter = 0; iter < 300; ++iter) {
+    const int k = 1 + static_cast<int>(rng.NextBounded(10));
+    const BidsTable bids = RandomTable(rng, k, /*allow_heavy=*/false);
+    const CompiledBids compiled = CompiledBids::Compile(bids, k);
+    ASSERT_EQ(compiled.num_rows(), bids.size());
+    AdvertiserOutcome outcome;
+    for (SlotIndex slot = kNoSlot; slot < k; ++slot) {
+      outcome.slot = slot;
+      for (int b = 0; b < 4; ++b) {
+        outcome.clicked = (b & 2) != 0;
+        outcome.purchased = (b & 1) != 0;
+        // Exact equality: compiled accumulation reproduces the tree walk.
+        EXPECT_EQ(compiled.Payment(outcome), bids.Payment(outcome))
+            << bids.ToString() << " slot=" << slot << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(CompiledBidsTest, ExpectedPaymentMatchesTreeWalkExactly) {
+  Rng rng(77);
+  for (int iter = 0; iter < 200; ++iter) {
+    const int k = 1 + static_cast<int>(rng.NextBounded(8));
+    const MatrixClickModel model = RandomModel(rng, 1, k);
+    const BidsTable bids = RandomTable(rng, k, /*allow_heavy=*/false);
+    const CompiledBids compiled = CompiledBids::Compile(bids, k);
+    double prob[4];
+    for (SlotIndex slot = kNoSlot; slot < k; ++slot) {
+      OutcomeProbabilities(model, 0, slot, prob);
+      EXPECT_EQ(compiled.ExpectedPayment(slot, prob),
+                ExpectedPayment(bids, model, 0, slot))
+          << bids.ToString() << " slot=" << slot;
+    }
+  }
+}
+
+TEST(CompiledBidsTest, HeavyCompilationMatchesTreeWalkExactly) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 100; ++iter) {
+    const int k = 1 + static_cast<int>(rng.NextBounded(5));
+    const BidsTable bids = RandomTable(rng, k, /*allow_heavy=*/true);
+    auto base = std::make_shared<MatrixClickModel>(RandomModel(rng, 1, k));
+    const ShadowHeavyClickModel model(base, std::vector<bool>(1, false),
+                                      /*light_shadow=*/0.3,
+                                      /*heavy_shadow=*/0.1,
+                                      /*purchase_given_click=*/0.25);
+    for (uint32_t mask = 0; mask < (1u << k); ++mask) {
+      const CompiledBids compiled = CompiledBids::CompileHeavy(bids, k, mask);
+      AdvertiserOutcome outcome;
+      outcome.heavy_slot_mask = mask;
+      for (SlotIndex slot = kNoSlot; slot < k; ++slot) {
+        outcome.slot = slot;
+        for (int b = 0; b < 4; ++b) {
+          outcome.clicked = (b & 2) != 0;
+          outcome.purchased = (b & 1) != 0;
+          EXPECT_EQ(compiled.Payment(outcome), bids.Payment(outcome));
+        }
+        // Reconstruct the heavy outcome distribution the way
+        // ExpectedPaymentHeavy does, and require exact agreement.
+        const bool assigned = slot != kNoSlot;
+        const double pc =
+            assigned ? model.ClickProbability(0, slot, mask) : 0.0;
+        const double ppc =
+            assigned ? model.PurchaseProbabilityGivenClick(0, slot, mask)
+                     : 0.0;
+        const double prob[4] = {1.0 - pc, 0.0, pc * (1.0 - ppc), pc * ppc};
+        const Money compiled_expected = compiled.ExpectedPayment(slot, prob);
+        EXPECT_EQ(ExpectedPaymentHeavy(bids, model, 0, slot, mask),
+                  compiled_expected);
+      }
+    }
+  }
+}
+
+TEST(CompiledBidsTest, CompileRejectsHeavyFormulas) {
+  BidsTable bids;
+  bids.AddBid(Formula::HeavyInSlot(0), 5);
+  EXPECT_DEATH(CompiledBids::Compile(bids, 3), "CompileHeavy");
+}
+
+TEST(BuildRevenueMatrixTest, CompiledMatchesBaselineBitForBit) {
+  Rng rng(99);
+  const int n = 40;
+  const int k = 7;
+  const MatrixClickModel model = RandomModel(rng, n, k);
+  std::vector<BidsTable> bids;
+  bids.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    bids.push_back(RandomTable(rng, k, /*allow_heavy=*/false));
+  }
+
+  const RevenueMatrix baseline = BuildRevenueMatrixBaseline(bids, model);
+  const RevenueMatrix compiled = BuildRevenueMatrix(bids, model);
+  ThreadPool pool(3);
+  const RevenueMatrix parallel = BuildRevenueMatrix(bids, model, &pool);
+
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(compiled.AtUnassigned(i), baseline.AtUnassigned(i));
+    EXPECT_EQ(parallel.AtUnassigned(i), baseline.AtUnassigned(i));
+    for (int j = 0; j < k; ++j) {
+      EXPECT_EQ(compiled.At(i, j), baseline.At(i, j)) << i << "," << j;
+      EXPECT_EQ(parallel.At(i, j), baseline.At(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(FingerprintBidsTest, SensitiveToContent) {
+  BidsTable a;
+  a.AddBid(Formula::Slot(0) && Formula::Click(), 10);
+  a.AddBid(Formula::Purchase(), 3);
+
+  BidsTable same;
+  same.AddBid(Formula::Slot(0) && Formula::Click(), 10);
+  same.AddBid(Formula::Purchase(), 3);
+  EXPECT_EQ(FingerprintBids(a), FingerprintBids(same));
+
+  BidsTable other_value = same;
+  other_value.Clear();
+  other_value.AddBid(Formula::Slot(0) && Formula::Click(), 11);
+  other_value.AddBid(Formula::Purchase(), 3);
+  EXPECT_NE(FingerprintBids(a), FingerprintBids(other_value));
+
+  BidsTable other_formula;
+  other_formula.AddBid(Formula::Slot(1) && Formula::Click(), 10);
+  other_formula.AddBid(Formula::Purchase(), 3);
+  EXPECT_NE(FingerprintBids(a), FingerprintBids(other_formula));
+
+  BidsTable extra_row = same;
+  extra_row.AddBid(Formula::True(), 0);
+  EXPECT_NE(FingerprintBids(a), FingerprintBids(extra_row));
+
+  BidsTable reordered;
+  reordered.AddBid(Formula::Purchase(), 3);
+  reordered.AddBid(Formula::Slot(0) && Formula::Click(), 10);
+  EXPECT_NE(FingerprintBids(a), FingerprintBids(reordered));
+}
+
+TEST(CompiledBidsCacheTest, HitsOnUnchangedContentMissesOnChange) {
+  CompiledBidsCache cache;
+  BidsTable bids;
+  bids.AddBid(Formula::Slot(0), 7);
+
+  const CompiledBids* first = &cache.Get(0, bids, 4);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 0);
+
+  // Same content (even a freshly rebuilt table) => cache hit, same entry.
+  BidsTable rebuilt;
+  rebuilt.AddBid(Formula::Slot(0), 7);
+  const CompiledBids* second = &cache.Get(0, rebuilt, 4);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(first, second);
+
+  // Changed value => recompile.
+  BidsTable changed;
+  changed.AddBid(Formula::Slot(0), 8);
+  const CompiledBids& recompiled = cache.Get(0, changed, 4);
+  EXPECT_EQ(cache.misses(), 2);
+  AdvertiserOutcome outcome;
+  outcome.slot = 0;
+  EXPECT_EQ(recompiled.Payment(outcome), 8.0);
+
+  // Different slot count invalidates even with equal content.
+  cache.Get(0, changed, 5);
+  EXPECT_EQ(cache.misses(), 3);
+
+  // Other advertisers occupy independent entries.
+  cache.Get(3, bids, 4);
+  EXPECT_EQ(cache.misses(), 4);
+  cache.Get(3, bids, 4);
+  EXPECT_EQ(cache.hits(), 2);
+}
+
+TEST(CompiledBidsCacheTest, EntriesStableAcrossCacheGrowth) {
+  // The engine collects one pointer per advertiser while the cache grows;
+  // earlier entries must not move (deque storage).
+  CompiledBidsCache cache;
+  BidsTable bids;
+  bids.AddBid(Formula::Click(), 2);
+  std::vector<const CompiledBids*> view;
+  for (AdvertiserId i = 0; i < 200; ++i) view.push_back(&cache.Get(i, bids, 3));
+  for (AdvertiserId i = 0; i < 200; ++i) {
+    EXPECT_EQ(view[i], &cache.Get(i, bids, 3));
+  }
+}
+
+}  // namespace
+}  // namespace ssa

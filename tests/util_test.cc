@@ -1,5 +1,7 @@
+#include <algorithm>
 #include <atomic>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -9,6 +11,7 @@
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
+#include "util/topk_heap.h"
 
 namespace ssa {
 namespace {
@@ -139,6 +142,59 @@ TEST(ThreadPoolTest, ParallelForCoversRange) {
   std::vector<std::atomic<int>> hits(257);
   pool.ParallelFor(257, [&hits](int i) { hits[i].fetch_add(1); });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksPartitionsExactly) {
+  ThreadPool pool(3);
+  for (int n : {1, 2, 7, 12, 100, 1003}) {
+    std::vector<std::atomic<int>> hits(n);
+    std::atomic<int> chunks{0};
+    pool.ParallelForChunks(n, [&](int begin, int end) {
+      EXPECT_LE(0, begin);
+      EXPECT_LT(begin, end);
+      EXPECT_LE(end, n);
+      chunks.fetch_add(1);
+      for (int i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    // One task per chunk, at most ~4x threads, never more than n.
+    EXPECT_LE(chunks.load(), std::min(n, 4 * pool.num_threads()));
+    EXPECT_GE(chunks.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForChunksEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelForChunks(0, [&](int, int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(TopKHeapSetTest, MatchesPriorityQueueSemantics) {
+  // The flat heap set must retain exactly the top-capacity entries under
+  // the strict (weight, id) pair order, independent of insertion order.
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int capacity = 1 + static_cast<int>(rng.NextBounded(8));
+    const int entries = static_cast<int>(rng.NextBounded(40));
+    TopKHeapSet heaps;
+    heaps.Reset(2, capacity);
+    std::vector<std::pair<double, AdvertiserId>> all;
+    for (int e = 0; e < entries; ++e) {
+      // Duplicate weights exercise the id tie-break.
+      const double w = static_cast<double>(rng.NextBounded(10));
+      heaps.Offer(0, w, e);
+      heaps.Offer(1, w, e);
+      all.emplace_back(w, e);
+    }
+    std::sort(all.rbegin(), all.rend());
+    if (static_cast<int>(all.size()) > capacity) all.resize(capacity);
+    for (int h = 0; h < 2; ++h) {
+      std::vector<std::pair<double, AdvertiserId>> got;
+      heaps.ExtractDescending(h, &got);
+      EXPECT_EQ(got, all);
+    }
+  }
 }
 
 TEST(ThreadPoolTest, WaitIdleThenReuse) {
