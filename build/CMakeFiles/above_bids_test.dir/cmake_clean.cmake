@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/above_bids_test.dir/tests/above_bids_test.cc.o"
+  "CMakeFiles/above_bids_test.dir/tests/above_bids_test.cc.o.d"
+  "above_bids_test"
+  "above_bids_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/above_bids_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_engine_test.dir/tests/auction_engine_test.cc.o"
+  "CMakeFiles/auction_engine_test.dir/tests/auction_engine_test.cc.o.d"
+  "auction_engine_test"
+  "auction_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heavyweight.dir/bench/bench_heavyweight.cc.o"
+  "CMakeFiles/bench_heavyweight.dir/bench/bench_heavyweight.cc.o.d"
+  "bench_heavyweight"
+  "bench_heavyweight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heavyweight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

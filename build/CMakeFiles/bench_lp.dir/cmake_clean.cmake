@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lp.dir/bench/bench_lp.cc.o"
+  "CMakeFiles/bench_lp.dir/bench/bench_lp.cc.o.d"
+  "bench_lp"
+  "bench_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_topk.dir/bench/bench_parallel_topk.cc.o"
+  "CMakeFiles/bench_parallel_topk.dir/bench/bench_parallel_topk.cc.o.d"
+  "bench_parallel_topk"
+  "bench_parallel_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_program_eval.dir/bench/bench_program_eval.cc.o"
+  "CMakeFiles/bench_program_eval.dir/bench/bench_program_eval.cc.o.d"
+  "bench_program_eval"
+  "bench_program_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_program_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

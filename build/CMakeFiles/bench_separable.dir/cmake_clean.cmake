@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_separable.dir/bench/bench_separable.cc.o"
+  "CMakeFiles/bench_separable.dir/bench/bench_separable.cc.o.d"
+  "bench_separable"
+  "bench_separable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_separable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_threshold.dir/bench/bench_threshold.cc.o"
+  "CMakeFiles/bench_threshold.dir/bench/bench_threshold.cc.o.d"
+  "bench_threshold"
+  "bench_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bids_table_test.dir/tests/bids_table_test.cc.o"
+  "CMakeFiles/bids_table_test.dir/tests/bids_table_test.cc.o.d"
+  "bids_table_test"
+  "bids_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bids_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/click_model_test.dir/tests/click_model_test.cc.o"
+  "CMakeFiles/click_model_test.dir/tests/click_model_test.cc.o.d"
+  "click_model_test"
+  "click_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/click_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiled_bids_test.dir/tests/compiled_bids_test.cc.o"
+  "CMakeFiles/compiled_bids_test.dir/tests/compiled_bids_test.cc.o.d"
+  "compiled_bids_test"
+  "compiled_bids_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiled_bids_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daypart_strategy_test.dir/tests/daypart_strategy_test.cc.o"
+  "CMakeFiles/daypart_strategy_test.dir/tests/daypart_strategy_test.cc.o.d"
+  "daypart_strategy_test"
+  "daypart_strategy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daypart_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_table_test.dir/tests/db_table_test.cc.o"
+  "CMakeFiles/db_table_test.dir/tests/db_table_test.cc.o.d"
+  "db_table_test"
+  "db_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

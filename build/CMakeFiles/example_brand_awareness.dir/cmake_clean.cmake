@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_brand_awareness.dir/examples/brand_awareness.cc.o"
+  "CMakeFiles/example_brand_awareness.dir/examples/brand_awareness.cc.o.d"
+  "example_brand_awareness"
+  "example_brand_awareness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_brand_awareness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

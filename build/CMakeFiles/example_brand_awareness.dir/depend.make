@@ -1,0 +1,2 @@
+# Empty dependencies file for example_brand_awareness.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_expressive_program.dir/examples/expressive_program.cc.o"
+  "CMakeFiles/example_expressive_program.dir/examples/expressive_program.cc.o.d"
+  "example_expressive_program"
+  "example_expressive_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_expressive_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

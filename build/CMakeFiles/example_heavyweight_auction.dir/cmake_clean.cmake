@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heavyweight_auction.dir/examples/heavyweight_auction.cc.o"
+  "CMakeFiles/example_heavyweight_auction.dir/examples/heavyweight_auction.cc.o.d"
+  "example_heavyweight_auction"
+  "example_heavyweight_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heavyweight_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_roi_campaign.dir/examples/roi_campaign.cc.o"
+  "CMakeFiles/example_roi_campaign.dir/examples/roi_campaign.cc.o.d"
+  "example_roi_campaign"
+  "example_roi_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_roi_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expected_revenue_test.dir/tests/expected_revenue_test.cc.o"
+  "CMakeFiles/expected_revenue_test.dir/tests/expected_revenue_test.cc.o.d"
+  "expected_revenue_test"
+  "expected_revenue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expected_revenue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

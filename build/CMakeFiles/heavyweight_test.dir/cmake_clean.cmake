@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heavyweight_test.dir/tests/heavyweight_test.cc.o"
+  "CMakeFiles/heavyweight_test.dir/tests/heavyweight_test.cc.o.d"
+  "heavyweight_test"
+  "heavyweight_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heavyweight_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_equivalence_test.dir/tests/lang_equivalence_test.cc.o"
+  "CMakeFiles/lang_equivalence_test.dir/tests/lang_equivalence_test.cc.o.d"
+  "lang_equivalence_test"
+  "lang_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

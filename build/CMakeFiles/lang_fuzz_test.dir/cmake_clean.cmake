@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_fuzz_test.dir/tests/lang_fuzz_test.cc.o"
+  "CMakeFiles/lang_fuzz_test.dir/tests/lang_fuzz_test.cc.o.d"
+  "lang_fuzz_test"
+  "lang_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_interpreter_test.dir/tests/lang_interpreter_test.cc.o"
+  "CMakeFiles/lang_interpreter_test.dir/tests/lang_interpreter_test.cc.o.d"
+  "lang_interpreter_test"
+  "lang_interpreter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

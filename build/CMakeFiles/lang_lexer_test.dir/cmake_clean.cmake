@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_lexer_test.dir/tests/lang_lexer_test.cc.o"
+  "CMakeFiles/lang_lexer_test.dir/tests/lang_lexer_test.cc.o.d"
+  "lang_lexer_test"
+  "lang_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

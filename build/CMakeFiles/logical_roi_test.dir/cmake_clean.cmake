@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_roi_test.dir/tests/logical_roi_test.cc.o"
+  "CMakeFiles/logical_roi_test.dir/tests/logical_roi_test.cc.o.d"
+  "logical_roi_test"
+  "logical_roi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_roi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

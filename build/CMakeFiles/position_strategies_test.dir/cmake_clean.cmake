@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/position_strategies_test.dir/tests/position_strategies_test.cc.o"
+  "CMakeFiles/position_strategies_test.dir/tests/position_strategies_test.cc.o.d"
+  "position_strategies_test"
+  "position_strategies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/position_strategies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roi_strategy_test.dir/tests/roi_strategy_test.cc.o"
+  "CMakeFiles/roi_strategy_test.dir/tests/roi_strategy_test.cc.o.d"
+  "roi_strategy_test"
+  "roi_strategy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roi_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/separable_test.dir/tests/separable_test.cc.o"
+  "CMakeFiles/separable_test.dir/tests/separable_test.cc.o.d"
+  "separable_test"
+  "separable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/separable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

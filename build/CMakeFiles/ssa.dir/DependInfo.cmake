@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auction/auction_engine.cc" "CMakeFiles/ssa.dir/src/auction/auction_engine.cc.o" "gcc" "CMakeFiles/ssa.dir/src/auction/auction_engine.cc.o.d"
+  "/root/repo/src/auction/metrics.cc" "CMakeFiles/ssa.dir/src/auction/metrics.cc.o" "gcc" "CMakeFiles/ssa.dir/src/auction/metrics.cc.o.d"
+  "/root/repo/src/auction/pricing.cc" "CMakeFiles/ssa.dir/src/auction/pricing.cc.o" "gcc" "CMakeFiles/ssa.dir/src/auction/pricing.cc.o.d"
+  "/root/repo/src/auction/workload.cc" "CMakeFiles/ssa.dir/src/auction/workload.cc.o" "gcc" "CMakeFiles/ssa.dir/src/auction/workload.cc.o.d"
+  "/root/repo/src/core/above_bids.cc" "CMakeFiles/ssa.dir/src/core/above_bids.cc.o" "gcc" "CMakeFiles/ssa.dir/src/core/above_bids.cc.o.d"
+  "/root/repo/src/core/bids_table.cc" "CMakeFiles/ssa.dir/src/core/bids_table.cc.o" "gcc" "CMakeFiles/ssa.dir/src/core/bids_table.cc.o.d"
+  "/root/repo/src/core/click_model.cc" "CMakeFiles/ssa.dir/src/core/click_model.cc.o" "gcc" "CMakeFiles/ssa.dir/src/core/click_model.cc.o.d"
+  "/root/repo/src/core/compiled_bids.cc" "CMakeFiles/ssa.dir/src/core/compiled_bids.cc.o" "gcc" "CMakeFiles/ssa.dir/src/core/compiled_bids.cc.o.d"
+  "/root/repo/src/core/expected_revenue.cc" "CMakeFiles/ssa.dir/src/core/expected_revenue.cc.o" "gcc" "CMakeFiles/ssa.dir/src/core/expected_revenue.cc.o.d"
+  "/root/repo/src/core/formula.cc" "CMakeFiles/ssa.dir/src/core/formula.cc.o" "gcc" "CMakeFiles/ssa.dir/src/core/formula.cc.o.d"
+  "/root/repo/src/core/formula_parser.cc" "CMakeFiles/ssa.dir/src/core/formula_parser.cc.o" "gcc" "CMakeFiles/ssa.dir/src/core/formula_parser.cc.o.d"
+  "/root/repo/src/core/heavyweight.cc" "CMakeFiles/ssa.dir/src/core/heavyweight.cc.o" "gcc" "CMakeFiles/ssa.dir/src/core/heavyweight.cc.o.d"
+  "/root/repo/src/core/parallel_topk.cc" "CMakeFiles/ssa.dir/src/core/parallel_topk.cc.o" "gcc" "CMakeFiles/ssa.dir/src/core/parallel_topk.cc.o.d"
+  "/root/repo/src/core/separable.cc" "CMakeFiles/ssa.dir/src/core/separable.cc.o" "gcc" "CMakeFiles/ssa.dir/src/core/separable.cc.o.d"
+  "/root/repo/src/core/winner_determination.cc" "CMakeFiles/ssa.dir/src/core/winner_determination.cc.o" "gcc" "CMakeFiles/ssa.dir/src/core/winner_determination.cc.o.d"
+  "/root/repo/src/db/table.cc" "CMakeFiles/ssa.dir/src/db/table.cc.o" "gcc" "CMakeFiles/ssa.dir/src/db/table.cc.o.d"
+  "/root/repo/src/db/value.cc" "CMakeFiles/ssa.dir/src/db/value.cc.o" "gcc" "CMakeFiles/ssa.dir/src/db/value.cc.o.d"
+  "/root/repo/src/lang/interpreter.cc" "CMakeFiles/ssa.dir/src/lang/interpreter.cc.o" "gcc" "CMakeFiles/ssa.dir/src/lang/interpreter.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "CMakeFiles/ssa.dir/src/lang/lexer.cc.o" "gcc" "CMakeFiles/ssa.dir/src/lang/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "CMakeFiles/ssa.dir/src/lang/parser.cc.o" "gcc" "CMakeFiles/ssa.dir/src/lang/parser.cc.o.d"
+  "/root/repo/src/lp/assignment_lp.cc" "CMakeFiles/ssa.dir/src/lp/assignment_lp.cc.o" "gcc" "CMakeFiles/ssa.dir/src/lp/assignment_lp.cc.o.d"
+  "/root/repo/src/lp/simplex.cc" "CMakeFiles/ssa.dir/src/lp/simplex.cc.o" "gcc" "CMakeFiles/ssa.dir/src/lp/simplex.cc.o.d"
+  "/root/repo/src/matching/brute_force.cc" "CMakeFiles/ssa.dir/src/matching/brute_force.cc.o" "gcc" "CMakeFiles/ssa.dir/src/matching/brute_force.cc.o.d"
+  "/root/repo/src/matching/hungarian.cc" "CMakeFiles/ssa.dir/src/matching/hungarian.cc.o" "gcc" "CMakeFiles/ssa.dir/src/matching/hungarian.cc.o.d"
+  "/root/repo/src/matching/munkres.cc" "CMakeFiles/ssa.dir/src/matching/munkres.cc.o" "gcc" "CMakeFiles/ssa.dir/src/matching/munkres.cc.o.d"
+  "/root/repo/src/strategy/logical_roi.cc" "CMakeFiles/ssa.dir/src/strategy/logical_roi.cc.o" "gcc" "CMakeFiles/ssa.dir/src/strategy/logical_roi.cc.o.d"
+  "/root/repo/src/strategy/position_strategies.cc" "CMakeFiles/ssa.dir/src/strategy/position_strategies.cc.o" "gcc" "CMakeFiles/ssa.dir/src/strategy/position_strategies.cc.o.d"
+  "/root/repo/src/strategy/program_strategy.cc" "CMakeFiles/ssa.dir/src/strategy/program_strategy.cc.o" "gcc" "CMakeFiles/ssa.dir/src/strategy/program_strategy.cc.o.d"
+  "/root/repo/src/strategy/roi_strategy.cc" "CMakeFiles/ssa.dir/src/strategy/roi_strategy.cc.o" "gcc" "CMakeFiles/ssa.dir/src/strategy/roi_strategy.cc.o.d"
+  "/root/repo/src/strategy/threshold_algorithm.cc" "CMakeFiles/ssa.dir/src/strategy/threshold_algorithm.cc.o" "gcc" "CMakeFiles/ssa.dir/src/strategy/threshold_algorithm.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/ssa.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/ssa.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/ssa.dir/src/util/status.cc.o" "gcc" "CMakeFiles/ssa.dir/src/util/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/ssa.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/ssa.dir/src/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threshold_algorithm_test.dir/tests/threshold_algorithm_test.cc.o"
+  "CMakeFiles/threshold_algorithm_test.dir/tests/threshold_algorithm_test.cc.o.d"
+  "threshold_algorithm_test"
+  "threshold_algorithm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threshold_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

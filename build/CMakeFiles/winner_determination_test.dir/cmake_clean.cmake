@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/winner_determination_test.dir/tests/winner_determination_test.cc.o"
+  "CMakeFiles/winner_determination_test.dir/tests/winner_determination_test.cc.o.d"
+  "winner_determination_test"
+  "winner_determination_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/winner_determination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
