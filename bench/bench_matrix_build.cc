@@ -116,6 +116,8 @@ BENCHMARK(BM_MatrixCompiled)
     ->Args({1000, 8})
     ->Args({5000, 8})
     ->Args({5000, 15})
+    ->Args({10000, 8})
+    ->Args({100000, 8})
     ->Unit(benchmark::kMillisecond);
 
 void BM_MatrixCompiledCached(benchmark::State& state) {
@@ -129,6 +131,8 @@ BENCHMARK(BM_MatrixCompiledCached)
     ->Args({1000, 8})
     ->Args({5000, 8})
     ->Args({5000, 15})
+    ->Args({10000, 8})
+    ->Args({100000, 8})
     ->Unit(benchmark::kMillisecond);
 
 void BM_MatrixCompiledParallel(benchmark::State& state) {
@@ -144,6 +148,8 @@ BENCHMARK(BM_MatrixCompiledParallel)
     ->Args({5000, 8, 2})
     ->Args({5000, 8, 4})
     ->Args({5000, 15, 4})
+    ->Args({10000, 8, 4})
+    ->Args({100000, 8, 4})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,103 @@
+// Sharded vs single-engine auction throughput: the full RunAuction()
+// lifecycle (program evaluation, compiled-bids lookups, revenue matrix,
+// reduced-Hungarian winner determination, pricing, settlement) on the
+// Section V paper workload, across population sizes n ∈ {1k, 10k, 100k}.
+//
+// Compared engines:
+//   * Single:        AuctionEngine, everything sequential,
+//   * SingleTPool:   AuctionEngine with the row-block matrix_pool (PR 1),
+//   * Sharded/K:     ShardedAuctionEngine, K shards on a K-thread pool —
+//                    programs, compilation, matrix rows and local top-k all
+//                    run share-nothing per shard.
+//
+// All three produce bitwise-identical auction trajectories for equal seeds
+// (asserted by sharded_engine_test), so the comparison is pure scheduling.
+
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "auction/auction_engine.h"
+#include "auction/sharded_engine.h"
+#include "strategy/roi_strategy.h"
+#include "util/thread_pool.h"
+
+namespace ssa {
+namespace {
+
+std::vector<std::unique_ptr<BiddingStrategy>> RoiStrategies(
+    const Workload& workload) {
+  std::vector<std::unique_ptr<BiddingStrategy>> strategies;
+  strategies.reserve(workload.config.num_advertisers);
+  for (int i = 0; i < workload.config.num_advertisers; ++i) {
+    strategies.push_back(
+        std::make_unique<RoiStrategy>(workload.keyword_formulas));
+  }
+  return strategies;
+}
+
+WorkloadConfig BenchConfig(int n) {
+  WorkloadConfig config;  // paper defaults: 15 slots, 10 keywords
+  config.num_advertisers = n;
+  config.seed = 12345;
+  return config;
+}
+
+void BM_SingleEngineAuction(benchmark::State& state) {
+  Workload w = MakePaperWorkload(BenchConfig(static_cast<int>(state.range(0))));
+  EngineConfig config;
+  AuctionEngine engine(config, w, RoiStrategies(w));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.RunAuction().revenue_charged);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SingleEngineAuction)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SingleEngineMatrixPool(benchmark::State& state) {
+  Workload w = MakePaperWorkload(BenchConfig(static_cast<int>(state.range(0))));
+  ThreadPool pool(static_cast<int>(state.range(1)));
+  EngineConfig config;
+  config.matrix_pool = &pool;
+  AuctionEngine engine(config, w, RoiStrategies(w));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.RunAuction().revenue_charged);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SingleEngineMatrixPool)
+    ->Args({10000, 4})
+    ->Args({100000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedAuction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int shards = static_cast<int>(state.range(1));
+  Workload w = MakePaperWorkload(BenchConfig(n));
+  ThreadPool pool(shards);
+  ShardedEngineConfig config;
+  config.num_shards = shards;
+  config.pool = &pool;
+  ShardedAuctionEngine engine(config, w, RoiStrategies(w));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.RunAuction().revenue_charged);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardedAuction)
+    ->Args({1000, 2})
+    ->Args({1000, 4})
+    ->Args({10000, 2})
+    ->Args({10000, 4})
+    ->Args({10000, 8})
+    ->Args({100000, 4})
+    ->Args({100000, 8})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ssa

@@ -60,6 +60,19 @@ struct EngineConfig {
   ThreadPool* matrix_pool = nullptr;
 };
 
+/// Steps 5/6 of the lifecycle, shared by AuctionEngine and
+/// ShardedAuctionEngine: simulates user behavior for every filled slot of
+/// outcome->wd.allocation, charges winners per `pricing`, updates accounts,
+/// and delivers the Section II-B outcome notifications. Appends one
+/// UserEvent per filled slot (in slot order) and accumulates
+/// outcome->revenue_charged; `user_rng` advances exactly once per
+/// click/purchase draw, so equal seeds yield bitwise-equal trajectories.
+void SettleAuction(PricingRule pricing, const ClickModel& model,
+                   const std::vector<Money>& prices,
+                   std::vector<AdvertiserAccount>* accounts,
+                   const std::vector<std::unique_ptr<BiddingStrategy>>& strategies,
+                   Rng* user_rng, AuctionOutcome* outcome);
+
 /// The eager auction engine: every advertiser's bidding program runs on
 /// every auction (the baseline Section IV improves on). One RunAuction()
 /// performs the full lifecycle — user search, program evaluation, winner

@@ -85,4 +85,13 @@ std::vector<Money> VcgExpectedCharges(const RevenueMatrix& revenue,
   return charges;
 }
 
+std::vector<Money> ComputePrices(PricingRule rule, const RevenueMatrix& revenue,
+                                 const ClickModel& model,
+                                 const Allocation& allocation) {
+  if (rule == PricingRule::kVcg) {
+    return VcgExpectedCharges(revenue, allocation);
+  }
+  return PerClickPrices(rule, revenue, model, allocation);
+}
+
 }  // namespace ssa

@@ -50,6 +50,12 @@ std::vector<Money> PerClickPrices(PricingRule rule,
 std::vector<Money> VcgExpectedCharges(const RevenueMatrix& revenue,
                                       const Allocation& allocation);
 
+/// Dispatches to VcgExpectedCharges or PerClickPrices by rule — the single
+/// Step 6 entry point shared by AuctionEngine and ShardedAuctionEngine.
+std::vector<Money> ComputePrices(PricingRule rule, const RevenueMatrix& revenue,
+                                 const ClickModel& model,
+                                 const Allocation& allocation);
+
 }  // namespace ssa
 
 #endif  // SSA_AUCTION_PRICING_H_

@@ -1,0 +1,168 @@
+#include "auction/sharded_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/expected_revenue.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace ssa {
+
+ShardedAuctionEngine::ShardedAuctionEngine(
+    const ShardedEngineConfig& config, Workload workload,
+    std::vector<std::unique_ptr<BiddingStrategy>> strategies)
+    : config_(config),
+      workload_(std::move(workload)),
+      strategies_(std::move(strategies)),
+      query_gen_(workload_.config.num_keywords, config.engine.seed),
+      user_rng_(config.engine.seed ^ 0x5eed0f0e125eedULL) {
+  SSA_CHECK(strategies_.size() == workload_.accounts.size());
+  const int n = static_cast<int>(strategies_.size());
+  SSA_CHECK(config_.num_shards >= 1);
+  const int num_shards = std::min(config_.num_shards, std::max(1, n));
+  shards_.resize(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    Shard& shard = shards_[s];
+    // Same balanced contiguous partition as the Section III-E tree leaves.
+    shard.begin = static_cast<AdvertiserId>(
+        static_cast<int64_t>(n) * s / num_shards);
+    shard.end = static_cast<AdvertiserId>(
+        static_cast<int64_t>(n) * (s + 1) / num_shards);
+    shard.bids.resize(shard.end - shard.begin);
+  }
+}
+
+void ShardedAuctionEngine::RunShardPhase(Shard* shard, const Query& query,
+                                         RevenueMatrix* revenue,
+                                         bool collect_topk) {
+  const int k = workload_.config.num_slots;
+  const ClickModel& model = *workload_.click_model;
+  for (AdvertiserId i = shard->begin; i < shard->end; ++i) {
+    BidsTable& bids = shard->bids[i - shard->begin];
+    bids.Clear();
+    strategies_[i]->MakeBids(query, workload_.accounts[i], &bids);
+    const CompiledBids& compiled = shard->cache.Get(i - shard->begin, bids, k);
+    FillRevenueRow(compiled, model, revenue, i);
+  }
+  if (!collect_topk) return;
+  // Local per-slot top-k over the shard's rows — the leaf step of the
+  // Section III-E aggregation, with global advertiser ids so the merge is a
+  // plain re-offer.
+  shard->topk.Reset(k, std::max(k, 1));
+  const double* base = revenue->UnassignedData();
+  for (AdvertiserId i = shard->begin; i < shard->end; ++i) {
+    const double* row = revenue->Row(i);
+    for (SlotIndex j = 0; j < k; ++j) {
+      const double w = row[j] - base[i];
+      if (w <= 0.0) continue;  // never beats leaving the slot empty
+      shard->topk.Offer(j, w, i);
+    }
+  }
+}
+
+std::vector<AdvertiserId> ShardedAuctionEngine::MergeShardCandidates(
+    int num_advertisers, int num_slots) {
+  // Re-offer every shard's retained entries into one global heap set. The
+  // (weight, id) order is strict and insertion-order independent, and every
+  // globally top-k entry is top-k within its own shard, so the merged heaps
+  // hold exactly the entries SelectTopPerSlotCandidates(revenue, k) keeps.
+  merged_topk_.Reset(num_slots, std::max(num_slots, 1));
+  for (const Shard& shard : shards_) {
+    for (SlotIndex j = 0; j < num_slots; ++j) {
+      const TopKHeapSet::Entry* entries = shard.topk.entries(j);
+      for (int e = 0; e < shard.topk.size(j); ++e) {
+        merged_topk_.Offer(j, entries[e].weight, entries[e].id);
+      }
+    }
+  }
+  // Candidate extraction mirrors SelectTopPerSlotCandidates: union across
+  // slots, deduplicated, sorted ascending (the sort makes the vector
+  // canonical, so heap iteration order is immaterial).
+  std::vector<char> seen(num_advertisers, 0);
+  std::vector<AdvertiserId> candidates;
+  candidates.reserve(static_cast<size_t>(num_slots) * num_slots);
+  for (SlotIndex j = 0; j < num_slots; ++j) {
+    const TopKHeapSet::Entry* entries = merged_topk_.entries(j);
+    for (int e = 0; e < merged_topk_.size(j); ++e) {
+      const AdvertiserId i = entries[e].id;
+      if (!seen[i]) {
+        seen[i] = 1;
+        candidates.push_back(i);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+const AuctionOutcome& ShardedAuctionEngine::RunAuction() {
+  const int n = static_cast<int>(strategies_.size());
+  const int k = workload_.config.num_slots;
+  const ClickModel& model = *workload_.click_model;
+  outcome_ = AuctionOutcome{};
+  outcome_.query = query_gen_.Next();
+  ++auctions_run_;
+
+  // --- Shard phase: Step 3 + the Theorem 2 matrix, fused and share-nothing.
+  // Shards touch disjoint strategies, bid tables, caches, and matrix rows,
+  // so the pool schedule cannot change any value.
+  WallTimer timer;
+  RevenueMatrix revenue(n, k);
+  const bool reduced =
+      config_.engine.wd_method == WdMethod::kReducedHungarian;
+  const int num_shards = static_cast<int>(shards_.size());
+  if (config_.pool != nullptr && num_shards > 1) {
+    config_.pool->ParallelFor(num_shards, [&](int s) {
+      RunShardPhase(&shards_[s], outcome_.query, &revenue, reduced);
+    });
+  } else {
+    for (int s = 0; s < num_shards; ++s) {
+      RunShardPhase(&shards_[s], outcome_.query, &revenue, reduced);
+    }
+  }
+  outcome_.program_eval_ms = timer.ElapsedMillis();
+
+  // --- Step 4: winner determination. The reduced method consumes the
+  // merged shard candidates; the dense methods see the full matrix.
+  timer.Reset();
+  if (reduced) {
+    outcome_.wd = SolveOnCandidates(revenue, MergeShardCandidates(n, k));
+  } else {
+    outcome_.wd = DetermineWinners(revenue, config_.engine.wd_method);
+  }
+  outcome_.wd_ms = timer.ElapsedMillis();
+
+  // --- Step 6 prep: prices.
+  timer.Reset();
+  const std::vector<Money> prices = ComputePrices(
+      config_.engine.pricing, revenue, model, outcome_.wd.allocation);
+  outcome_.pricing_ms = timer.ElapsedMillis();
+
+  // --- Step 5: user action simulation, charging, accounting, notifications.
+  SettleAuction(config_.engine.pricing, model, prices, &workload_.accounts,
+                strategies_, &user_rng_, &outcome_);
+  total_revenue_ += outcome_.revenue_charged;
+  return outcome_;
+}
+
+ShardedAuctionEngine::ShardStats ShardedAuctionEngine::shard_stats(
+    int shard) const {
+  SSA_CHECK(shard >= 0 && shard < num_shards());
+  const Shard& s = shards_[shard];
+  return ShardStats{s.begin, s.end, s.cache.hits(), s.cache.misses()};
+}
+
+int64_t ShardedAuctionEngine::cache_hits() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) total += s.cache.hits();
+  return total;
+}
+
+int64_t ShardedAuctionEngine::cache_misses() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) total += s.cache.misses();
+  return total;
+}
+
+}  // namespace ssa

@@ -1,0 +1,121 @@
+#ifndef SSA_AUCTION_SHARDED_ENGINE_H_
+#define SSA_AUCTION_SHARDED_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "auction/auction_engine.h"
+#include "auction/pricing.h"
+#include "auction/query_gen.h"
+#include "auction/workload.h"
+#include "core/compiled_bids.h"
+#include "core/winner_determination.h"
+#include "strategy/strategy.h"
+#include "util/common.h"
+#include "util/topk_heap.h"
+
+namespace ssa {
+
+class ThreadPool;
+
+/// Configuration of the sharded engine: the base engine knobs (winner
+/// determination, pricing, seed) plus the shard count and the pool the
+/// shards run on. `engine.matrix_pool` is ignored — sharding replaces the
+/// row-block parallelism with whole-shard tasks.
+struct ShardedEngineConfig {
+  EngineConfig engine;
+  /// Number of shards K the advertiser population is partitioned into
+  /// (contiguous ranges of ~n/K advertisers). Clamped to [1, max(1, n)].
+  int num_shards = 1;
+  /// Optional (non-owning) pool: shard tasks run concurrently on it. With
+  /// nullptr the shards execute sequentially — the output is identical
+  /// either way (shards share nothing until the merge).
+  ThreadPool* pool = nullptr;
+};
+
+/// Horizontally partitioned auction engine: the advertiser population is
+/// split across K shards, each owning its advertisers' bid tables and its
+/// own compiled-bids cache. Per auction, every shard — share-nothing, in
+/// parallel on the configured pool — runs its bidding programs, compiles or
+/// reuses their truth tables, fills its rows of the expected-revenue matrix,
+/// and selects its local per-slot top-k candidates into a TopKHeapSet. The
+/// coordinator merges the K partial top-k sets (top-k of a union equals the
+/// top-k of the per-part top-k's under the strict (weight, id) order), runs
+/// the reduced matching, and settles the auction exactly like AuctionEngine.
+///
+/// Determinism contract: with equal seeds and workloads, every auction's
+/// allocation, prices, user events, and account balances are bitwise
+/// identical to the single-engine path, for any K and any pool — asserted
+/// by sharded_engine_test. Strategies of different advertisers never share
+/// mutable state (Section II-B), which is what makes the shard phase
+/// embarrassingly parallel.
+class ShardedAuctionEngine {
+ public:
+  ShardedAuctionEngine(const ShardedEngineConfig& config, Workload workload,
+                       std::vector<std::unique_ptr<BiddingStrategy>> strategies);
+
+  /// Runs one complete auction and returns its record. The fused shard
+  /// phase (program evaluation + compile + matrix rows + local top-k) is
+  /// reported as program_eval_ms; matrix_ms stays 0.
+  const AuctionOutcome& RunAuction();
+
+  const std::vector<AdvertiserAccount>& accounts() const {
+    return workload_.accounts;
+  }
+  const Workload& workload() const { return workload_; }
+  const AuctionOutcome& last_outcome() const { return outcome_; }
+  int64_t auctions_run() const { return auctions_run_; }
+  Money total_revenue() const { return total_revenue_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Per-shard observability: advertiser range and compiled-bids cache
+  /// performance (each shard compiles only its own population).
+  struct ShardStats {
+    AdvertiserId begin = 0;
+    AdvertiserId end = 0;
+    int64_t cache_hits = 0;
+    int64_t cache_misses = 0;
+  };
+  ShardStats shard_stats(int shard) const;
+  /// Cache hits/misses summed over all shards (comparable to
+  /// AuctionEngine::bid_cache() totals).
+  int64_t cache_hits() const;
+  int64_t cache_misses() const;
+
+ private:
+  struct Shard {
+    AdvertiserId begin = 0;  // advertisers [begin, end)
+    AdvertiserId end = 0;
+    std::vector<BidsTable> bids;  // local tables, reused across auctions
+    CompiledBidsCache cache;      // keyed on local index i - begin
+    TopKHeapSet topk;             // local per-slot top-k, reused
+  };
+
+  /// The share-nothing per-shard unit of one auction: bidding programs,
+  /// compiled-bids lookups, revenue-matrix rows, and (for the reduced
+  /// method) the local per-slot top-k. Writes only shard-owned state and
+  /// the shard's disjoint matrix rows.
+  void RunShardPhase(Shard* shard, const Query& query, RevenueMatrix* revenue,
+                     bool collect_topk);
+
+  /// Merges the shards' local top-k heaps into the global per-slot top-k
+  /// and extracts the candidate union — identical to the single-engine
+  /// SelectTopPerSlotCandidates(revenue, k) output.
+  std::vector<AdvertiserId> MergeShardCandidates(int num_advertisers,
+                                                 int num_slots);
+
+  ShardedEngineConfig config_;
+  Workload workload_;
+  std::vector<std::unique_ptr<BiddingStrategy>> strategies_;
+  QueryGenerator query_gen_;
+  Rng user_rng_;
+  std::vector<Shard> shards_;
+  TopKHeapSet merged_topk_;  // coordinator scratch, reused across auctions
+  AuctionOutcome outcome_;
+  int64_t auctions_run_ = 0;
+  Money total_revenue_ = 0;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_AUCTION_SHARDED_ENGINE_H_

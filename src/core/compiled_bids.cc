@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 namespace ssa {
 namespace {
 
@@ -113,6 +117,88 @@ class TruthCompiler {
   std::vector<uint8_t>* bands_;
 };
 
+// ---------------------------------------------------------------------------
+// The 4-bit mask kernel: acc[b] += value * ((mask >> b) & 1) for b in 0..3,
+// accumulated strictly in row order per lane. The four lanes are independent,
+// so the vector dimension is the *outcome* axis (4 doubles = one 256-bit
+// register), never the row axis — each lane still sums rows in order, which
+// keeps the result bitwise equal to the original scalar loop.
+// ---------------------------------------------------------------------------
+
+#if defined(__AVX2__)
+
+/// 16-entry weight LUT: entry m is the (click, purchase) mask m expanded to
+/// four {0.0, 1.0} lanes.
+struct alignas(32) LaneLut {
+  double w[16][4];
+};
+constexpr LaneLut MakeLaneLut() {
+  LaneLut lut{};
+  for (int m = 0; m < 16; ++m) {
+    for (int b = 0; b < 4; ++b) lut.w[m][b] = ((m >> b) & 1) ? 1.0 : 0.0;
+  }
+  return lut;
+}
+constexpr LaneLut kLaneLut = MakeLaneLut();
+
+void AccumulateOutcomeLanes(const double* v, const uint8_t* m, size_t rows,
+                            double acc[4]) {
+  __m256d vacc = _mm256_setzero_pd();
+  for (size_t r = 0; r < rows; ++r) {
+    const __m256d w = _mm256_load_pd(kLaneLut.w[m[r] & 0xF]);
+    const __m256d value = _mm256_set1_pd(v[r]);
+    // Explicit mul + add (no fused multiply-add): matches the scalar path's
+    // two roundings, so the lanes stay bitwise identical across builds.
+    vacc = _mm256_add_pd(vacc, _mm256_mul_pd(value, w));
+  }
+  _mm256_storeu_pd(acc, vacc);
+}
+
+#else  // portable SWAR path
+
+/// Spreads the 4 mask bits into the four 16-bit lanes of one 64-bit word:
+/// bit b of `mask` lands at bit 16*b. The multiplier places copies of the
+/// mask at shifts {0, 15, 30, 45}; the contribution ranges (0-3, 15-18,
+/// 30-33, 45-48) are disjoint, so there are no carries to mask off.
+inline uint64_t SpreadMaskLanes(uint64_t mask) {
+  return (mask * 0x0000200040008001ULL) & 0x0001000100010001ULL;
+}
+
+void AccumulateOutcomeLanes(const double* v, const uint8_t* m, size_t rows,
+                            double acc[4]) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  for (size_t r = 0; r < rows; ++r) {
+    const double value = v[r];
+    const uint64_t lanes = SpreadMaskLanes(m[r] & 0xF);
+    // Materialize each lane's {0.0, 1.0} weight branch-free as an IEEE-754
+    // bit pattern (0 - bit is all-ones or zero; AND keeps the exponent of
+    // 1.0). value * 1.0 == value and value * 0.0 == +0.0 exactly, so the
+    // accumulation is bit-for-bit the original conditional sum. The fixed
+    // 4-wide pattern below is a single independent mul+add per lane, which
+    // compilers turn into packed SIMD without reassociating any lane's sum.
+    const uint64_t kOne = 0x3FF0000000000000ULL;  // bits of 1.0
+    double w0, w1, w2, w3;
+    uint64_t b0 = (0 - ((lanes >> 0) & 1u)) & kOne;
+    uint64_t b1 = (0 - ((lanes >> 16) & 1u)) & kOne;
+    uint64_t b2 = (0 - ((lanes >> 32) & 1u)) & kOne;
+    uint64_t b3 = (0 - ((lanes >> 48) & 1u)) & kOne;
+    __builtin_memcpy(&w0, &b0, sizeof w0);
+    __builtin_memcpy(&w1, &b1, sizeof w1);
+    __builtin_memcpy(&w2, &b2, sizeof w2);
+    __builtin_memcpy(&w3, &b3, sizeof w3);
+    a0 += value * w0;
+    a1 += value * w1;
+    a2 += value * w2;
+    a3 += value * w3;
+  }
+  acc[0] = a0;
+  acc[1] = a1;
+  acc[2] = a2;
+  acc[3] = a3;
+}
+
+#endif  // __AVX2__
+
 uint64_t HashCombine(uint64_t seed, uint64_t v) {
   // splitmix64-style mix of the incoming value, folded into the seed.
   v += 0x9e3779b97f4a7c15ULL;
@@ -210,21 +296,11 @@ Money CompiledBids::Payment(const AdvertiserOutcome& outcome) const {
 
 Money CompiledBids::ExpectedPayment(SlotIndex slot,
                                     const double prob[4]) const {
-  const uint8_t* m = MasksForSlot(slot);
-  const double* v = values_.data();
-  const size_t rows = values_.size();
-  // Four per-outcome payment accumulators filled in one branch-free pass
-  // over the contiguous rows; each equals Payment() for that outcome.
-  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-  for (size_t r = 0; r < rows; ++r) {
-    const double value = v[r];
-    const uint8_t mask = m[r];
-    acc0 += value * static_cast<double>(mask & 1);
-    acc1 += value * static_cast<double>((mask >> 1) & 1);
-    acc2 += value * static_cast<double>((mask >> 2) & 1);
-    acc3 += value * static_cast<double>((mask >> 3) & 1);
-  }
-  const double acc[4] = {acc0, acc1, acc2, acc3};
+  // Four per-outcome payment accumulators filled in one branch-free SIMD
+  // pass over the contiguous rows; each equals Payment() for that outcome.
+  double acc[4];
+  AccumulateOutcomeLanes(values_.data(), MasksForSlot(slot), values_.size(),
+                         acc);
   // Same zero-skip and accumulation order as the tree-walking
   // ExpectedPayment's (click, purchase) loop => bitwise-equal results.
   Money expected = 0;

@@ -23,6 +23,13 @@ namespace ssa {
 /// is a single bottom-up walk per row (each node costs O(k) byte ops), so it
 /// amortizes after roughly one ExpectedPayment call.
 ///
+/// The four outcome accumulators are the kernel's vector dimension: the
+/// portable build packs the 4 mask bits into 64-bit SWAR lanes and expands
+/// them to {0.0, 1.0} weights branch-free (compilers vectorize the fixed
+/// 4-wide mul+add), and AVX2 builds (-mavx2 / SSA_NATIVE) use a 256-bit
+/// specialization. Rows are never reassociated across lanes, so every build
+/// flavor produces identical bits.
+///
 /// Numerical contract: the compiled evaluators reproduce the tree-walking
 /// `BidsTable::Payment` / `ExpectedPayment` results *bit for bit* — values
 /// accumulate in row order and the outcome probabilities are applied in the

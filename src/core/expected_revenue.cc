@@ -47,13 +47,10 @@ Money ExpectedPayment(const BidsTable& bids, const ClickModel& model,
   return expected;
 }
 
-namespace {
-
-/// Fills advertiser i's row (k assigned entries + the unassigned baseline)
-/// from its compiled rows: per slot, one branch-free pass over contiguous
+/// Per slot, one branch-free pass over the advertiser's contiguous
 /// values/masks.
-void FillCompiledRow(const CompiledBids& compiled, const ClickModel& model,
-                     RevenueMatrix* matrix, AdvertiserId i) {
+void FillRevenueRow(const CompiledBids& compiled, const ClickModel& model,
+                    RevenueMatrix* matrix, AdvertiserId i) {
   const int k = matrix->num_slots();
   double prob[4];
   double* row = matrix->MutableRow(i);
@@ -64,8 +61,6 @@ void FillCompiledRow(const CompiledBids& compiled, const ClickModel& model,
   OutcomeProbabilities(model, i, kNoSlot, prob);
   matrix->MutableUnassignedData()[i] = compiled.ExpectedPayment(kNoSlot, prob);
 }
-
-}  // namespace
 
 RevenueMatrix BuildRevenueMatrix(const std::vector<BidsTable>& bids,
                                  const ClickModel& model, ThreadPool* pool) {
@@ -80,7 +75,7 @@ RevenueMatrix BuildRevenueMatrix(const std::vector<BidsTable>& bids,
     thread_local CompiledBids compiled;
     for (AdvertiserId i = begin; i < end; ++i) {
       compiled.CompileFrom(bids[i], k);
-      FillCompiledRow(compiled, model, &matrix, i);
+      FillRevenueRow(compiled, model, &matrix, i);
     }
   };
   if (pool != nullptr) {
@@ -116,7 +111,7 @@ RevenueMatrix BuildRevenueMatrixCompiled(
   auto fill_range = [&](int begin, int end) {
     for (AdvertiserId i = begin; i < end; ++i) {
       SSA_CHECK(bids[i] != nullptr && bids[i]->num_slots() == k);
-      FillCompiledRow(*bids[i], model, &matrix, i);
+      FillRevenueRow(*bids[i], model, &matrix, i);
     }
   };
   if (pool != nullptr) {

@@ -127,6 +127,14 @@ RevenueMatrix BuildRevenueMatrixCompiled(
     const std::vector<const CompiledBids*>& bids, const ClickModel& model,
     ThreadPool* pool = nullptr);
 
+/// Fills advertiser i's row of `matrix` (its k assigned entries plus the
+/// unassigned baseline) from its compiled rows — the per-advertiser unit of
+/// BuildRevenueMatrixCompiled, exported so sharded engines can stream rows
+/// straight out of per-shard compiled-bids caches. Touches only row i, so
+/// disjoint advertisers fill concurrently with bitwise-deterministic output.
+void FillRevenueRow(const CompiledBids& compiled, const ClickModel& model,
+                    RevenueMatrix* matrix, AdvertiserId i);
+
 }  // namespace ssa
 
 #endif  // SSA_CORE_EXPECTED_REVENUE_H_

@@ -113,6 +113,49 @@ TEST(CompiledBidsTest, ExpectedPaymentMatchesTreeWalkExactly) {
   }
 }
 
+/// The pre-SIMD scalar mask kernel, reimplemented over the public dense
+/// accessors: four row-order accumulators with (mask >> b) & 1 weights,
+/// then the zero-skipping probability combine. The production kernel (SWAR
+/// lane packing, or the AVX2 specialization when built with -mavx2) must
+/// reproduce it bit for bit — the SIMD path may never reassociate a lane.
+Money ScalarReferenceExpectedPayment(const CompiledBids& compiled,
+                                     SlotIndex slot, const double prob[4]) {
+  const double* v = compiled.values();
+  const uint8_t* m = compiled.MasksForSlot(slot);
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  for (size_t r = 0; r < compiled.num_rows(); ++r) {
+    for (int b = 0; b < 4; ++b) {
+      acc[b] += v[r] * static_cast<double>((m[r] >> b) & 1);
+    }
+  }
+  Money expected = 0;
+  for (int b = 0; b < 4; ++b) {
+    if (prob[b] == 0.0) continue;
+    expected += prob[b] * acc[b];
+  }
+  return expected;
+}
+
+TEST(CompiledBidsTest, SimdKernelMatchesScalarReferenceBitwise) {
+  Rng rng(31337);
+  for (int iter = 0; iter < 500; ++iter) {
+    const int k = 1 + static_cast<int>(rng.NextBounded(12));
+    const BidsTable bids = RandomTable(rng, k, /*allow_heavy=*/false);
+    const CompiledBids compiled = CompiledBids::Compile(bids, k);
+    // Random distributions, including exact zeros and unnormalized values —
+    // the kernel contract is per-lane arithmetic, not probability hygiene.
+    double prob[4];
+    for (double& p : prob) {
+      p = rng.Bernoulli(0.25) ? 0.0 : rng.Uniform(0.0, 1.0);
+    }
+    for (SlotIndex slot = kNoSlot; slot < k; ++slot) {
+      EXPECT_EQ(compiled.ExpectedPayment(slot, prob),
+                ScalarReferenceExpectedPayment(compiled, slot, prob))
+          << bids.ToString() << " slot=" << slot;
+    }
+  }
+}
+
 TEST(CompiledBidsTest, HeavyCompilationMatchesTreeWalkExactly) {
   Rng rng(4242);
   for (int iter = 0; iter < 100; ++iter) {

@@ -38,6 +38,29 @@ std::string RandomExpr(Rng& rng, int depth) {
          RandomExpr(rng, depth - 1) + ")";
 }
 
+/// Condition for a trigger-level IF: only scalars and literals. Columns
+/// {a, b} exist only inside a row scope (UPDATE binds one row at a time), so
+/// a bare column in a top-level condition is a type error the interpreter
+/// correctly reports — the generator must not emit it if programs are to
+/// execute cleanly.
+std::string RandomScalarExpr(Rng& rng, int depth) {
+  if (depth == 0 || rng.Bernoulli(0.35)) {
+    switch (rng.NextBounded(3)) {
+      case 0:
+        return std::to_string(rng.UniformInt(0, 9));
+      case 1:
+        return "s";
+      default:
+        return "t";
+    }
+  }
+  static const char* kOps[] = {"+", "-", "*", "/", "<", ">", "=",
+                               "<=", ">=", "<>", "AND", "OR"};
+  const char* op = kOps[rng.NextBounded(12)];
+  return "(" + RandomScalarExpr(rng, depth - 1) + " " + op + " " +
+         RandomScalarExpr(rng, depth - 1) + ")";
+}
+
 std::string RandomStatement(Rng& rng) {
   switch (rng.NextBounded(3)) {
     case 0:
@@ -46,7 +69,10 @@ std::string RandomStatement(Rng& rng) {
       return "UPDATE T SET b = " + RandomExpr(rng, 2) + " WHERE " +
              RandomExpr(rng, 2) + ";";
     default:
-      return "IF " + RandomExpr(rng, 2) + " THEN UPDATE T SET a = " +
+      // No trailing ';' after ENDIF (optional per Figure 5): exercises the
+      // statement-after-ENDIF parse that used to be masked by the generator
+      // gluing statements together without whitespace ("ENDIFUPDATE").
+      return "IF " + RandomScalarExpr(rng, 2) + " THEN UPDATE T SET a = " +
              RandomExpr(rng, 2) + "; ELSE UPDATE T SET b = " +
              RandomExpr(rng, 2) + "; ENDIF";
   }
@@ -59,7 +85,12 @@ TEST_P(LangFuzzTest, GeneratedProgramsNeverCrash) {
   for (int iter = 0; iter < 200; ++iter) {
     std::string body;
     const int num_statements = 1 + static_cast<int>(rng.NextBounded(4));
-    for (int s = 0; s < num_statements; ++s) body += RandomStatement(rng);
+    for (int s = 0; s < num_statements; ++s) {
+      // Statements are whitespace-separated, never glued: "ENDIF" followed
+      // directly by "UPDATE" would lex as one identifier.
+      if (!body.empty()) body += ' ';
+      body += RandomStatement(rng);
+    }
     const std::string source =
         "CREATE TRIGGER f AFTER INSERT ON Query {" + body + "}";
 
