@@ -1,0 +1,269 @@
+// Serving-layer load generator: drives the AuctionServer (bounded ingestion
+// queue -> micro-batched sharded auctions -> batched settlement) with
+// closed- and open-loop traffic and reports sustained throughput plus
+// queue-wait and end-to-end latency percentiles from the server's own
+// log-bucketed histograms.
+//
+//   * Closed loop: P producers submit back-to-back under the kBlock policy —
+//     measures the engine-bound ceiling (sustained qps) per shard count x
+//     batch size x settlement mode.
+//   * Open loop: one producer with Poisson arrivals (exponential
+//     inter-arrival times from util/rng.h) at a sweep of offered rates
+//     around the measured ceiling, kReject policy — measures how the
+//     latency tail and shed rate move as utilization approaches 1 (the
+//     closed-loop ceiling), which closed-loop harnesses cannot see.
+//
+// Knobs (env): SSA_SERVE_N (advertisers, default 10000),
+// SSA_SERVE_AUCTIONS (measured auctions per config, default 500),
+// SSA_SERVE_WARMUP (default 50), SSA_SERVE_PRODUCERS (default 2),
+// SSA_SEED, SSA_SERVE_QUICK=1 (CI smoke: tiny population and counts).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "serving/auction_server.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace ssa {
+namespace bench {
+namespace {
+
+using std::chrono::duration;
+using std::chrono::microseconds;
+using std::chrono::steady_clock;
+
+struct LoadResult {
+  double qps = 0;          // completed / measured wall time
+  double offered_qps = 0;  // open loop only: submissions / wall time
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  uint64_t queue_p50 = 0, queue_p95 = 0, queue_p99 = 0;
+  uint64_t e2e_p50 = 0, e2e_p95 = 0, e2e_p99 = 0;
+};
+
+struct ServeSetup {
+  std::unique_ptr<ThreadPool> pool;
+  std::unique_ptr<AuctionServer> server;
+};
+
+ServeSetup MakeServer(int n, int shards, int batch, ServingMode mode,
+                      BackpressurePolicy policy, uint64_t seed) {
+  ServeSetup setup;
+  if (shards > 1) setup.pool = std::make_unique<ThreadPool>(shards);
+  ServerConfig config;
+  config.engine.engine.seed = seed + 1;
+  config.engine.num_shards = shards;
+  config.engine.pool = setup.pool.get();
+  config.queue_capacity = 1024;
+  config.backpressure = policy;
+  config.max_batch_size = batch;
+  config.batch_deadline = microseconds(200);
+  config.mode = mode;
+  Workload workload = PaperWorkload(n, seed);
+  auto strategies = RoiStrategies(workload);
+  setup.server = std::make_unique<AuctionServer>(config, std::move(workload),
+                                                 std::move(strategies));
+  setup.server->Start();
+  return setup;
+}
+
+/// Submits `count` queries and blocks until the server settled all of them.
+void SubmitAndDrain(AuctionServer* server, QueryGenerator* gen, int count) {
+  const int64_t target = server->completed() + count;
+  for (int i = 0; i < count; ++i) server->Submit(gen->Next());
+  while (server->completed() < target) {
+    std::this_thread::sleep_for(microseconds(200));
+  }
+}
+
+void FillPercentiles(const AuctionServer& server, LoadResult* r) {
+  r->queue_p50 = server.queue_wait_us().Percentile(50);
+  r->queue_p95 = server.queue_wait_us().Percentile(95);
+  r->queue_p99 = server.queue_wait_us().Percentile(99);
+  r->e2e_p50 = server.end_to_end_us().Percentile(50);
+  r->e2e_p95 = server.end_to_end_us().Percentile(95);
+  r->e2e_p99 = server.end_to_end_us().Percentile(99);
+}
+
+LoadResult RunClosedLoop(int n, int shards, int batch, ServingMode mode,
+                         int producers, int warmup, int auctions,
+                         uint64_t seed) {
+  ServeSetup setup = MakeServer(n, shards, batch, mode,
+                                BackpressurePolicy::kBlock, seed);
+  AuctionServer& server = *setup.server;
+  QueryGenerator warmup_gen(10, seed + 2);
+  SubmitAndDrain(&server, &warmup_gen, warmup);
+  server.ResetTelemetry();
+
+  const int64_t completed_before = server.completed();
+  const auto start = steady_clock::now();
+  std::vector<std::thread> threads;
+  const int per_producer = auctions / producers;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&server, p, per_producer, seed] {
+      QueryGenerator gen(10, seed + 100 + p);
+      for (int i = 0; i < per_producer; ++i) server.Submit(gen.Next());
+    });
+  }
+  for (auto& t : threads) t.join();
+  const int64_t target = completed_before + int64_t{producers} * per_producer;
+  while (server.completed() < target) {
+    std::this_thread::sleep_for(microseconds(200));
+  }
+  const double elapsed = duration<double>(steady_clock::now() - start).count();
+
+  LoadResult r;
+  r.completed = server.completed() - completed_before;
+  r.qps = static_cast<double>(r.completed) / elapsed;
+  FillPercentiles(server, &r);
+  server.Stop();
+  return r;
+}
+
+LoadResult RunOpenLoop(int n, int shards, int batch, double rate_qps,
+                       int warmup, int auctions, uint64_t seed) {
+  ServeSetup setup =
+      MakeServer(n, shards, batch, ServingMode::kBatchedSettlement,
+                 BackpressurePolicy::kReject, seed);
+  AuctionServer& server = *setup.server;
+  QueryGenerator warmup_gen(10, seed + 2);
+  SubmitAndDrain(&server, &warmup_gen, warmup);
+  server.ResetTelemetry();
+
+  const int64_t completed_before = server.completed();
+  const int64_t rejected_before = server.rejected();
+  QueryGenerator gen(10, seed + 3);
+  Rng arrivals(seed + 4);
+  const auto start = steady_clock::now();
+  auto next_arrival = start;
+  for (int i = 0; i < auctions; ++i) {
+    // Exponential inter-arrival: a Poisson process at rate_qps.
+    const double gap_s =
+        -std::log(1.0 - arrivals.NextDouble()) / rate_qps;
+    next_arrival += microseconds(static_cast<int64_t>(gap_s * 1e6));
+    std::this_thread::sleep_until(next_arrival);
+    server.Submit(gen.Next());
+  }
+  const double offered_elapsed =
+      duration<double>(steady_clock::now() - start).count();
+  // Drain what was admitted.
+  const int64_t admitted =
+      auctions - (server.rejected() - rejected_before);
+  while (server.completed() - completed_before < admitted) {
+    std::this_thread::sleep_for(microseconds(200));
+  }
+  const double elapsed = duration<double>(steady_clock::now() - start).count();
+
+  LoadResult r;
+  r.completed = server.completed() - completed_before;
+  r.rejected = server.rejected() - rejected_before;
+  r.offered_qps = static_cast<double>(auctions) / offered_elapsed;
+  r.qps = static_cast<double>(r.completed) / elapsed;
+  FillPercentiles(server, &r);
+  server.Stop();
+  return r;
+}
+
+const char* ModeName(ServingMode mode) {
+  return mode == ServingMode::kDeterministicReplay ? "replay" : "batched";
+}
+
+void PrintRow(const char* label, int shards, int batch, const LoadResult& r) {
+  std::printf("%-10s %6d %6d %9.1f %8lld %8lld %8lld %8lld %8lld %8lld\n",
+              label, shards, batch, r.qps,
+              static_cast<long long>(r.queue_p50),
+              static_cast<long long>(r.queue_p95),
+              static_cast<long long>(r.queue_p99),
+              static_cast<long long>(r.e2e_p50),
+              static_cast<long long>(r.e2e_p95),
+              static_cast<long long>(r.e2e_p99));
+}
+
+int Main() {
+  const bool quick = EnvInt("SSA_SERVE_QUICK", 0) != 0;
+  const int n = static_cast<int>(EnvInt("SSA_SERVE_N", quick ? 500 : 10000));
+  const int auctions =
+      static_cast<int>(EnvInt("SSA_SERVE_AUCTIONS", quick ? 120 : 500));
+  const int warmup =
+      static_cast<int>(EnvInt("SSA_SERVE_WARMUP", quick ? 20 : 50));
+  const int producers = static_cast<int>(EnvInt("SSA_SERVE_PRODUCERS", 2));
+  const uint64_t seed = static_cast<uint64_t>(EnvInt("SSA_SEED", 1));
+
+  std::printf("# Serving load: n=%d advertisers, %d measured auctions per "
+              "config, %d warmup, %d producers\n",
+              n, auctions, warmup, producers);
+  std::printf("# latencies in microseconds (log-bucketed histogram, <=6.25%% "
+              "relative error)\n\n");
+
+  // --- Closed loop: engine-bound ceiling per shards x batch x mode.
+  std::printf("## Closed loop (kBlock backpressure)\n");
+  std::printf("%-10s %6s %6s %9s %8s %8s %8s %8s %8s %8s\n", "mode",
+              "shards", "batch", "qps", "qw_p50", "qw_p95", "qw_p99",
+              "e2e_p50", "e2e_p95", "e2e_p99");
+  const std::vector<int> shard_sweep = quick ? std::vector<int>{1}
+                                             : std::vector<int>{1, 4, 8};
+  const std::vector<int> batch_sweep =
+      quick ? std::vector<int>{8} : std::vector<int>{1, 16};
+  double reference_qps = 0;
+  for (int shards : shard_sweep) {
+    for (int batch : batch_sweep) {
+      const LoadResult r =
+          RunClosedLoop(n, shards, batch, ServingMode::kDeterministicReplay,
+                        producers, warmup, auctions, seed);
+      PrintRow(ModeName(ServingMode::kDeterministicReplay), shards, batch, r);
+      reference_qps = std::max(reference_qps, r.qps);
+    }
+  }
+  {
+    const int shards = quick ? 1 : 4;
+    const int batch = quick ? 8 : 16;
+    const LoadResult r =
+        RunClosedLoop(n, shards, batch, ServingMode::kBatchedSettlement,
+                      producers, warmup, auctions, seed);
+    PrintRow(ModeName(ServingMode::kBatchedSettlement), shards, batch, r);
+    reference_qps = std::max(reference_qps, r.qps);
+  }
+
+  // --- Open loop: Poisson arrivals around the measured ceiling.
+  std::printf("\n## Open loop (Poisson arrivals, kReject, batched "
+              "settlement; rates relative to the %.1f qps ceiling)\n",
+              reference_qps);
+  std::printf("%-10s %6s %6s %9s %9s %7s %8s %8s %8s %8s\n", "load",
+              "shards", "batch", "offered", "qps", "shed%", "qw_p50",
+              "qw_p95", "qw_p99", "e2e_p99");
+  const int shards = quick ? 1 : 4;
+  const int batch = quick ? 8 : 16;
+  const std::vector<double> load_factors =
+      quick ? std::vector<double>{0.5} : std::vector<double>{0.5, 0.8, 1.2};
+  for (double factor : load_factors) {
+    const double rate = std::max(1.0, factor * reference_qps);
+    const LoadResult r =
+        RunOpenLoop(n, shards, batch, rate, warmup, auctions, seed);
+    const double shed =
+        100.0 * static_cast<double>(r.rejected) /
+        static_cast<double>(r.completed + r.rejected);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1fx", factor);
+    std::printf("%-10s %6d %6d %9.1f %9.1f %7.2f %8lld %8lld %8lld %8lld\n",
+                label, shards, batch, r.offered_qps, r.qps, shed,
+                static_cast<long long>(r.queue_p50),
+                static_cast<long long>(r.queue_p95),
+                static_cast<long long>(r.queue_p99),
+                static_cast<long long>(r.e2e_p99));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ssa
+
+int main() { return ssa::bench::Main(); }

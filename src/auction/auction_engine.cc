@@ -67,11 +67,15 @@ AuctionEngine::AuctionEngine(
 }
 
 const AuctionOutcome& AuctionEngine::RunAuction() {
+  return RunAuctionOn(query_gen_.Next());
+}
+
+const AuctionOutcome& AuctionEngine::RunAuctionOn(const Query& query) {
   const int n = static_cast<int>(strategies_.size());
   const int k = workload_.config.num_slots;
   const ClickModel& model = *workload_.click_model;
   outcome_ = AuctionOutcome{};
-  outcome_.query = query_gen_.Next();
+  outcome_.query = query;
   ++auctions_run_;
 
   // --- Step 3: program evaluation (every program, eagerly).

@@ -86,8 +86,16 @@ class AuctionEngine {
   AuctionEngine(const EngineConfig& config, Workload workload,
                 std::vector<std::unique_ptr<BiddingStrategy>> strategies);
 
-  /// Runs one complete auction and returns its record.
+  /// Runs one complete auction on the next internally generated query and
+  /// returns its record.
   const AuctionOutcome& RunAuction();
+
+  /// Runs one complete auction on an externally supplied query (the serving
+  /// subsystem's ingestion entry: the caller owns arrival order and the
+  /// query's `time` stamp). RunAuction() is exactly
+  /// RunAuctionOn(query_gen.Next()), so a caller feeding the same generated
+  /// sequence reproduces the internal stream bitwise.
+  const AuctionOutcome& RunAuctionOn(const Query& query);
 
   const std::vector<AdvertiserAccount>& accounts() const {
     return workload_.accounts;

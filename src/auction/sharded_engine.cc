@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/expected_revenue.h"
+#include "core/parallel_topk.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -63,6 +64,25 @@ void ShardedAuctionEngine::RunShardPhase(Shard* shard, const Query& query,
 
 std::vector<AdvertiserId> ShardedAuctionEngine::MergeShardCandidates(
     int num_advertisers, int num_slots) {
+  // At K >= kTreeMergeMinShards, route the per-shard partials through the
+  // Section III-E binary merge tree instead of one flat re-offer: each
+  // shard's heaps become sorted per-slot top-k lists (the tree's leaf
+  // aggregates), merged pairwise in ceil(log2 K) levels on the shard pool.
+  // Top-k-of-union is associative under the strict (weight, id) order, so
+  // the retained set — and the sorted candidate vector — is bitwise
+  // identical to the flat path (sharded_engine_test pins K in {8, 12}).
+  if (static_cast<int>(shards_.size()) >= kTreeMergeMinShards) {
+    std::vector<SlotTopK> partials(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      partials[s].per_slot.resize(num_slots);
+      for (SlotIndex j = 0; j < num_slots; ++j) {
+        shards_[s].topk.ExtractDescending(j, &partials[s].per_slot[j]);
+      }
+    }
+    return TreeMergeToCandidates(std::move(partials), num_slots,
+                                 num_advertisers, config_.pool);
+  }
+
   // Re-offer every shard's retained entries into one global heap set. The
   // (weight, id) order is strict and insertion-order independent, and every
   // globally top-k entry is top-k within its own shard, so the merged heaps
@@ -97,12 +117,21 @@ std::vector<AdvertiserId> ShardedAuctionEngine::MergeShardCandidates(
 }
 
 const AuctionOutcome& ShardedAuctionEngine::RunAuction() {
+  return RunAuctionOn(query_gen_.Next());
+}
+
+const AuctionOutcome& ShardedAuctionEngine::RunAuctionOn(const Query& query) {
+  PlanAuction(query, &plan_scratch_);
+  return SettlePlanned(&plan_scratch_);
+}
+
+void ShardedAuctionEngine::PlanAuction(const Query& query,
+                                       PlannedAuction* plan) {
   const int n = static_cast<int>(strategies_.size());
   const int k = workload_.config.num_slots;
   const ClickModel& model = *workload_.click_model;
-  outcome_ = AuctionOutcome{};
-  outcome_.query = query_gen_.Next();
-  ++auctions_run_;
+  plan->outcome = AuctionOutcome{};
+  plan->outcome.query = query;
 
   // --- Shard phase: Step 3 + the Theorem 2 matrix, fused and share-nothing.
   // Shards touch disjoint strategies, bid tables, caches, and matrix rows,
@@ -114,34 +143,41 @@ const AuctionOutcome& ShardedAuctionEngine::RunAuction() {
   const int num_shards = static_cast<int>(shards_.size());
   if (config_.pool != nullptr && num_shards > 1) {
     config_.pool->ParallelFor(num_shards, [&](int s) {
-      RunShardPhase(&shards_[s], outcome_.query, &revenue, reduced);
+      RunShardPhase(&shards_[s], query, &revenue, reduced);
     });
   } else {
     for (int s = 0; s < num_shards; ++s) {
-      RunShardPhase(&shards_[s], outcome_.query, &revenue, reduced);
+      RunShardPhase(&shards_[s], query, &revenue, reduced);
     }
   }
-  outcome_.program_eval_ms = timer.ElapsedMillis();
+  plan->outcome.program_eval_ms = timer.ElapsedMillis();
 
   // --- Step 4: winner determination. The reduced method consumes the
   // merged shard candidates; the dense methods see the full matrix.
   timer.Reset();
   if (reduced) {
-    outcome_.wd = SolveOnCandidates(revenue, MergeShardCandidates(n, k));
+    plan->outcome.wd = SolveOnCandidates(revenue, MergeShardCandidates(n, k));
   } else {
-    outcome_.wd = DetermineWinners(revenue, config_.engine.wd_method);
+    plan->outcome.wd = DetermineWinners(revenue, config_.engine.wd_method);
   }
-  outcome_.wd_ms = timer.ElapsedMillis();
+  plan->outcome.wd_ms = timer.ElapsedMillis();
 
   // --- Step 6 prep: prices.
   timer.Reset();
-  const std::vector<Money> prices = ComputePrices(
-      config_.engine.pricing, revenue, model, outcome_.wd.allocation);
-  outcome_.pricing_ms = timer.ElapsedMillis();
+  plan->prices = ComputePrices(config_.engine.pricing, revenue, model,
+                               plan->outcome.wd.allocation);
+  plan->outcome.pricing_ms = timer.ElapsedMillis();
+}
+
+const AuctionOutcome& ShardedAuctionEngine::SettlePlanned(
+    PlannedAuction* plan) {
+  const ClickModel& model = *workload_.click_model;
+  outcome_ = std::move(plan->outcome);
+  ++auctions_run_;
 
   // --- Step 5: user action simulation, charging, accounting, notifications.
-  SettleAuction(config_.engine.pricing, model, prices, &workload_.accounts,
-                strategies_, &user_rng_, &outcome_);
+  SettleAuction(config_.engine.pricing, model, plan->prices,
+                &workload_.accounts, strategies_, &user_rng_, &outcome_);
   total_revenue_ += outcome_.revenue_charged;
   return outcome_;
 }

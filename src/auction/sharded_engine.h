@@ -59,6 +59,37 @@ class ShardedAuctionEngine {
   /// reported as program_eval_ms; matrix_ms stays 0.
   const AuctionOutcome& RunAuction();
 
+  /// Runs one complete auction on an externally supplied query (the serving
+  /// subsystem's ingestion entry). RunAuction() is exactly
+  /// RunAuctionOn(query_gen.Next()).
+  const AuctionOutcome& RunAuctionOn(const Query& query);
+
+  /// The provider-side half of one auction, detached from its settlement —
+  /// the unit the micro-batching AuctionServer schedules. A plan holds
+  /// everything settlement needs; it touches no account, strategy-outcome,
+  /// or user-RNG state until SettlePlanned applies it.
+  struct PlannedAuction {
+    AuctionOutcome outcome;      // query, wd, per-phase timings; events empty
+    std::vector<Money> prices;   // per-slot charges for the allocation
+  };
+
+  /// Phases 3/4/6-prep on `query` against the *current* account state:
+  /// shard-parallel program evaluation + matrix + candidate merge, winner
+  /// determination, pricing. Mutates only engine scratch (bid tables,
+  /// compiled-bids caches, heaps) — accounts, strategies' outcome state and
+  /// the user RNG are untouched, so planning is side-effect-free w.r.t. the
+  /// auction trajectory until the plan is settled.
+  void PlanAuction(const Query& query, PlannedAuction* plan);
+
+  /// Step 5/6 for a planned auction: simulates user actions (advancing the
+  /// user RNG in plan order), charges winners, updates accounts, delivers
+  /// outcome notifications, and folds revenue into the engine totals.
+  /// Settling plans strictly in arrival order, each planned after its
+  /// predecessor settled, reproduces the serial RunAuctionOn loop bitwise;
+  /// planning a batch ahead of settlement trades that equivalence for
+  /// throughput (bids within the batch see batch-start account state).
+  const AuctionOutcome& SettlePlanned(PlannedAuction* plan);
+
   const std::vector<AdvertiserAccount>& accounts() const {
     return workload_.accounts;
   }
@@ -100,9 +131,19 @@ class ShardedAuctionEngine {
 
   /// Merges the shards' local top-k heaps into the global per-slot top-k
   /// and extracts the candidate union — identical to the single-engine
-  /// SelectTopPerSlotCandidates(revenue, k) output.
+  /// SelectTopPerSlotCandidates(revenue, k) output. With fewer than
+  /// kTreeMergeMinShards shards the coordinator re-offers every retained
+  /// entry into one flat heap set (O(K k^2 log k)); at K >=
+  /// kTreeMergeMinShards it routes the partials through the Section III-E
+  /// binary merge tree (parallel_topk, ceil(log2 K) levels of O(k) list
+  /// merges on the shard pool) — same strict (weight, id) order, so the
+  /// candidate vector is bitwise identical either way.
   std::vector<AdvertiserId> MergeShardCandidates(int num_advertisers,
                                                  int num_slots);
+
+  /// Shard count at or above which the coordinator merge switches from the
+  /// flat re-offer to the tree network.
+  static constexpr int kTreeMergeMinShards = 8;
 
   ShardedEngineConfig config_;
   Workload workload_;
@@ -111,6 +152,7 @@ class ShardedAuctionEngine {
   Rng user_rng_;
   std::vector<Shard> shards_;
   TopKHeapSet merged_topk_;  // coordinator scratch, reused across auctions
+  PlannedAuction plan_scratch_;  // RunAuctionOn's plan, reused
   AuctionOutcome outcome_;
   int64_t auctions_run_ = 0;
   Money total_revenue_ = 0;

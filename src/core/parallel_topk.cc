@@ -8,13 +8,6 @@
 namespace ssa {
 namespace {
 
-/// Partial aggregate held by one tree node: for each slot, the top-k
-/// (weight, advertiser) pairs seen in its subtree, sorted descending.
-struct NodeState {
-  // per-slot sorted lists, each of size <= k.
-  std::vector<std::vector<std::pair<double, AdvertiserId>>> per_slot;
-};
-
 /// Leaf computation: local per-slot top-k over an advertiser range via
 /// size-k min-heaps — O((hi-lo) * k log k). All k heaps live in one
 /// thread-local flat buffer (each pool worker reuses its own across leaves
@@ -22,10 +15,10 @@ struct NodeState {
 /// the unchecked row pointers, so the scan is allocation-free and
 /// cache-friendly. The retained per-slot sets are identical to the previous
 /// priority_queue implementation (same strict (weight, id) pair order).
-NodeState ComputeLeaf(const RevenueMatrix& revenue, AdvertiserId lo,
-                      AdvertiserId hi) {
+SlotTopK ComputeLeaf(const RevenueMatrix& revenue, AdvertiserId lo,
+                     AdvertiserId hi) {
   const int k = revenue.num_slots();
-  NodeState state;
+  SlotTopK state;
   state.per_slot.resize(k);
   thread_local TopKHeapSet heaps;
   heaps.Reset(k, std::max(k, 1));
@@ -44,10 +37,30 @@ NodeState ComputeLeaf(const RevenueMatrix& revenue, AdvertiserId lo,
   return state;
 }
 
-/// Internal node: merge two children's sorted top-k lists, keep top k —
-/// O(k) per slot, the constant-time-per-level step of the paper's network.
-NodeState MergeNodes(const NodeState& a, const NodeState& b, int k) {
-  NodeState out;
+/// Root extraction shared by both tree paths: union of the per-slot lists,
+/// deduplicated, sorted ascending (canonical — heap and merge order are
+/// immaterial).
+std::vector<AdvertiserId> ExtractCandidates(const SlotTopK& root,
+                                            int num_advertisers) {
+  std::vector<char> seen(num_advertisers, 0);
+  std::vector<AdvertiserId> candidates;
+  for (const auto& list : root.per_slot) {
+    for (const auto& [w, i] : list) {
+      (void)w;
+      if (!seen[i]) {
+        seen[i] = 1;
+        candidates.push_back(i);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+}  // namespace
+
+SlotTopK MergeSlotTopK(const SlotTopK& a, const SlotTopK& b, int k) {
+  SlotTopK out;
   const int slots = static_cast<int>(a.per_slot.size());
   out.per_slot.resize(slots);
   for (int j = 0; j < slots; ++j) {
@@ -68,7 +81,28 @@ NodeState MergeNodes(const NodeState& a, const NodeState& b, int k) {
   return out;
 }
 
-}  // namespace
+std::vector<AdvertiserId> TreeMergeToCandidates(std::vector<SlotTopK> partials,
+                                                int k, int num_advertisers,
+                                                ThreadPool* pool) {
+  SSA_CHECK(!partials.empty());
+  std::vector<SlotTopK> level = std::move(partials);
+  while (level.size() > 1) {
+    const int pairs = static_cast<int>(level.size()) / 2;
+    const bool odd = (level.size() % 2) != 0;
+    std::vector<SlotTopK> next(pairs + (odd ? 1 : 0));
+    auto merge_task = [&](int p) {
+      next[p] = MergeSlotTopK(level[2 * p], level[2 * p + 1], k);
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(pairs, merge_task);
+    } else {
+      for (int p = 0; p < pairs; ++p) merge_task(p);
+    }
+    if (odd) next.back() = std::move(level.back());
+    level = std::move(next);
+  }
+  return ExtractCandidates(level[0], num_advertisers);
+}
 
 TreeAggregationResult TreeTopKAggregate(const RevenueMatrix& revenue,
                                         int num_blocks, ThreadPool* pool) {
@@ -80,7 +114,7 @@ TreeAggregationResult TreeTopKAggregate(const RevenueMatrix& revenue,
   TreeAggregationResult result;
 
   // --- Leaf level: p parallel blocks of ~n/p advertisers each.
-  std::vector<NodeState> level(num_blocks);
+  std::vector<SlotTopK> level(num_blocks);
   std::vector<double> leaf_ms(num_blocks, 0.0);
   auto leaf_task = [&](int b) {
     WallTimer timer;
@@ -101,15 +135,16 @@ TreeAggregationResult TreeTopKAggregate(const RevenueMatrix& revenue,
   result.critical_path_ms = result.leaf_critical_ms;
 
   // --- Merge levels: pairwise, with a barrier per level (the synchronous
-  // tree network of Section III-E).
+  // tree network of Section III-E). Duplicates TreeMergeToCandidates's loop
+  // only to time each level — the candidate output is identical.
   while (level.size() > 1) {
     const int pairs = static_cast<int>(level.size()) / 2;
     const bool odd = (level.size() % 2) != 0;
-    std::vector<NodeState> next(pairs + (odd ? 1 : 0));
+    std::vector<SlotTopK> next(pairs + (odd ? 1 : 0));
     std::vector<double> merge_ms(pairs, 0.0);
     auto merge_task = [&](int p) {
       WallTimer timer;
-      next[p] = MergeNodes(level[2 * p], level[2 * p + 1], k);
+      next[p] = MergeSlotTopK(level[2 * p], level[2 * p + 1], k);
       merge_ms[p] = timer.ElapsedMillis();
     };
     if (pool != nullptr) {
@@ -127,17 +162,7 @@ TreeAggregationResult TreeTopKAggregate(const RevenueMatrix& revenue,
   }
 
   // --- Root: union of per-slot lists.
-  std::vector<char> seen(n, 0);
-  for (const auto& list : level[0].per_slot) {
-    for (const auto& [w, i] : list) {
-      (void)w;
-      if (!seen[i]) {
-        seen[i] = 1;
-        result.candidates.push_back(i);
-      }
-    }
-  }
-  std::sort(result.candidates.begin(), result.candidates.end());
+  result.candidates = ExtractCandidates(level[0], n);
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SSA_CORE_PARALLEL_TOPK_H_
 #define SSA_CORE_PARALLEL_TOPK_H_
 
+#include <utility>
 #include <vector>
 
 #include "core/expected_revenue.h"
@@ -28,6 +29,33 @@ struct TreeAggregationResult {
   /// with each tree node mapped to a task.
   double critical_path_ms = 0.0;
 };
+
+/// Partial aggregate held by one node of the Section III-E tree network:
+/// for each slot, the top-k (weight, advertiser) pairs seen in its subtree,
+/// sorted descending by the strict (weight, id) order (ties listed with ids
+/// descending — the TopKHeapSet order). Leaves produce these from advertiser
+/// ranges; the sharded engine produces them from per-shard heaps.
+struct SlotTopK {
+  // per-slot sorted lists, each of size <= k.
+  std::vector<std::vector<std::pair<double, AdvertiserId>>> per_slot;
+};
+
+/// Merges two nodes' sorted per-slot lists keeping the top k per slot —
+/// O(k) per slot, the constant-time-per-level step of the paper's network.
+/// Associative over the strict (weight, id) order: any merge tree over the
+/// same leaves retains exactly the top-k of the union.
+SlotTopK MergeSlotTopK(const SlotTopK& a, const SlotTopK& b, int k);
+
+/// Runs the pairwise merge tree over `partials` (ceil(log2 p) levels, one
+/// barrier per level; tasks of a level run concurrently when `pool` is
+/// non-null) and extracts the root's candidate union: per-slot top-k lists
+/// unioned across slots, deduplicated, sorted ascending. With partials
+/// produced by per-range leaves this equals SelectTopPerSlotCandidates(·, k)
+/// on the whole matrix — the property the sharded coordinator's K >= 8
+/// merge path relies on.
+std::vector<AdvertiserId> TreeMergeToCandidates(std::vector<SlotTopK> partials,
+                                                int k, int num_advertisers,
+                                                ThreadPool* pool = nullptr);
 
 /// Simulates the paper's k binary-tree aggregation networks on a thread
 /// pool: advertisers are split into `num_blocks` leaf blocks; each leaf

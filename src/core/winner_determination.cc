@@ -39,7 +39,7 @@ std::vector<double> MarginalWeights(const RevenueMatrix& revenue) {
 
 std::vector<AdvertiserId> SelectTopPerSlotCandidates(
     const RevenueMatrix& revenue, int per_slot) {
-  SSA_CHECK(per_slot >= 1);
+  SSA_CHECK(per_slot >= 0);  // per_slot == 0 degenerates to no candidates
   const int n = revenue.num_advertisers();
   const int k = revenue.num_slots();
 

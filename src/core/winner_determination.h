@@ -47,7 +47,10 @@ WdResult DetermineWinners(const RevenueMatrix& revenue, WdMethod method);
 /// size-bounded min-heap: O(n k log per_slot)); returns the deduplicated
 /// union, at most k * per_slot candidates. An advertiser outside every
 /// slot's top-k can be exchanged out of any optimal matching, so matching on
-/// this subset is exact when per_slot >= k.
+/// this subset is exact when per_slot >= k. per_slot == 0 (top-0) is the
+/// valid degenerate case: no candidates. Ties in marginal weight break by
+/// advertiser id — the higher id is retained first (the strict (weight, id)
+/// order of TopKHeapSet), so the selection is a pure function of the matrix.
 std::vector<AdvertiserId> SelectTopPerSlotCandidates(
     const RevenueMatrix& revenue, int per_slot);
 

@@ -1,0 +1,212 @@
+#include "serving/auction_server.h"
+
+#include <utility>
+
+#include "util/timer.h"
+
+namespace ssa {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Non-negative elapsed microseconds between two steady-clock points.
+uint64_t ElapsedUs(SteadyClock::time_point from, SteadyClock::time_point to) {
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from).count();
+  return us > 0 ? static_cast<uint64_t>(us) : 0;
+}
+
+/// Executor-side poll backoff for the lock-free queue: stay hot for a few
+/// rounds, then yield the core, then sleep — bounds idle burn at ~20 wakeups
+/// per millisecond without adding more than ~50us of pop latency.
+void Backoff(int* round) {
+  if (*round < 64) {
+    // hot spin: the producer is probably mid-push
+  } else if (*round < 256) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  ++*round;
+}
+
+}  // namespace
+
+AuctionServer::AuctionServer(
+    const ServerConfig& config, Workload workload,
+    std::vector<std::unique_ptr<BiddingStrategy>> strategies)
+    : config_(config),
+      engine_(config.engine, std::move(workload), std::move(strategies)) {
+  SSA_CHECK(config_.queue_capacity >= 1);
+  SSA_CHECK(config_.max_batch_size >= 1);
+  if (config_.queue_impl == QueueImpl::kLockFree) {
+    // A lock-free ring can neither block a producer nor atomically evict
+    // its oldest element; reject is the only expressible policy.
+    SSA_CHECK(config_.backpressure == BackpressurePolicy::kReject);
+    ring_ = std::make_unique<MpmcRingQueue<ServingRequest>>(
+        config_.queue_capacity);
+  } else {
+    locking_queue_ = std::make_unique<BoundedQueue<ServingRequest>>(
+        config_.queue_capacity, config_.backpressure);
+  }
+}
+
+AuctionServer::~AuctionServer() { Stop(); }
+
+void AuctionServer::set_on_complete(CompletionFn fn) {
+  SSA_CHECK(!started_);
+  on_complete_ = std::move(fn);
+}
+
+void AuctionServer::Start() {
+  SSA_CHECK(!started_);
+  started_ = true;
+  executor_ = std::thread([this] { ExecutorLoop(); });
+}
+
+void AuctionServer::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  if (locking_queue_ != nullptr) {
+    locking_queue_->Close();
+  } else {
+    ring_closed_.store(true, std::memory_order_release);
+  }
+  executor_.join();
+}
+
+QueuePushResult AuctionServer::Submit(Query query) {
+  ServingRequest request;
+  request.query = std::move(query);
+  request.admitted_at = SteadyClock::now();
+  if (locking_queue_ != nullptr) {
+    return locking_queue_->Push(std::move(request));
+  }
+  // The in-flight window covers the closed-check through the TryPush
+  // return: the executor will not exit while any Submit is inside it, so a
+  // push that races with Stop() is still drained.
+  submits_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (ring_closed_.load(std::memory_order_acquire)) {
+    submits_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    return QueuePushResult::kClosed;
+  }
+  const bool pushed = ring_->TryPush(std::move(request));
+  submits_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+  if (pushed) {
+    ring_accepted_.fetch_add(1, std::memory_order_relaxed);
+    return QueuePushResult::kAccepted;
+  }
+  ring_rejected_.fetch_add(1, std::memory_order_relaxed);
+  return QueuePushResult::kRejected;
+}
+
+int64_t AuctionServer::accepted() const {
+  return locking_queue_ != nullptr
+             ? locking_queue_->accepted()
+             : ring_accepted_.load(std::memory_order_relaxed);
+}
+
+int64_t AuctionServer::rejected() const {
+  return locking_queue_ != nullptr
+             ? locking_queue_->rejected()
+             : ring_rejected_.load(std::memory_order_relaxed);
+}
+
+int64_t AuctionServer::dropped_oldest() const {
+  return locking_queue_ != nullptr ? locking_queue_->dropped_oldest() : 0;
+}
+
+bool AuctionServer::PopBatchLockFree(std::vector<ServingRequest>* out) {
+  ServingRequest request;
+  int round = 0;
+  // Wait (poll) for the batch's first request.
+  while (!ring_->TryPop(&request)) {
+    if (ring_closed_.load(std::memory_order_acquire) &&
+        submits_in_flight_.load(std::memory_order_acquire) == 0) {
+      // Closed with no Submit mid-push: every accepted request is fully
+      // published, so one final failed pop means drained-and-done.
+      if (ring_->TryPop(&request)) break;
+      return false;
+    }
+    Backoff(&round);
+  }
+  out->push_back(std::move(request));
+  // Size-or-deadline collection, mirroring BoundedQueue::PopBatch.
+  const auto deadline = SteadyClock::now() + config_.batch_deadline;
+  while (static_cast<int>(out->size()) < config_.max_batch_size) {
+    if (ring_->TryPop(&request)) {
+      out->push_back(std::move(request));
+      continue;
+    }
+    if (ring_closed_.load(std::memory_order_acquire) ||
+        SteadyClock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+void AuctionServer::ExecutorLoop() {
+  std::vector<ServingRequest> batch;
+  for (;;) {
+    batch.clear();
+    const bool alive =
+        locking_queue_ != nullptr
+            ? locking_queue_->PopBatch(&batch,
+                                       static_cast<size_t>(
+                                           config_.max_batch_size),
+                                       config_.batch_deadline)
+            : PopBatchLockFree(&batch);
+    if (!alive) return;  // closed and drained
+    RunBatch(&batch);
+  }
+}
+
+void AuctionServer::RunBatch(std::vector<ServingRequest>* batch) {
+  const auto popped_at = SteadyClock::now();
+  for (const ServingRequest& r : *batch) {
+    queue_wait_us_.Record(ElapsedUs(r.admitted_at, popped_at));
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+
+  WallTimer timer;
+  if (config_.mode == ServingMode::kDeterministicReplay) {
+    // Plan+settle interleaved per query: batch boundaries group work but
+    // never reorder it, so the trajectory equals the serial engine loop.
+    for (ServingRequest& r : *batch) {
+      plans_.resize(1);
+      timer.Reset();
+      engine_.PlanAuction(r.query, &plans_[0]);
+      auction_us_.Record(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3));
+      timer.Reset();
+      const AuctionOutcome& outcome = engine_.SettlePlanned(&plans_[0]);
+      settlement_us_.Record(
+          static_cast<uint64_t>(timer.ElapsedMillis() * 1e3));
+      end_to_end_us_.Record(ElapsedUs(r.admitted_at, SteadyClock::now()));
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      if (on_complete_) on_complete_(outcome);
+    }
+    return;
+  }
+
+  // Batched settlement: plan the whole batch against batch-start account
+  // state, then settle in arrival order in one pass.
+  plans_.resize(batch->size());
+  for (size_t i = 0; i < batch->size(); ++i) {
+    timer.Reset();
+    engine_.PlanAuction((*batch)[i].query, &plans_[i]);
+    auction_us_.Record(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3));
+  }
+  for (size_t i = 0; i < batch->size(); ++i) {
+    timer.Reset();
+    const AuctionOutcome& outcome = engine_.SettlePlanned(&plans_[i]);
+    settlement_us_.Record(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3));
+    end_to_end_us_.Record(
+        ElapsedUs((*batch)[i].admitted_at, SteadyClock::now()));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (on_complete_) on_complete_(outcome);
+  }
+}
+
+}  // namespace ssa

@@ -1,0 +1,183 @@
+#ifndef SSA_SERVING_AUCTION_SERVER_H_
+#define SSA_SERVING_AUCTION_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "auction/sharded_engine.h"
+#include "util/bounded_queue.h"
+#include "util/histogram.h"
+
+namespace ssa {
+
+/// How the executor orders planning vs settlement inside a micro-batch.
+enum class ServingMode {
+  /// Plan and settle each query before planning the next. Given a fixed
+  /// arrival order this reproduces the serial engine loop *bitwise* — for
+  /// any batch size, batch deadline, shard count, or pool — because batch
+  /// boundaries only group work, never reorder it (serving_test pins this
+  /// against AuctionEngine::RunAuctionOn).
+  kDeterministicReplay,
+  /// Plan the whole batch against batch-start account state, then settle in
+  /// arrival order in one pass. Settlement (user simulation, charging,
+  /// accounting, outcome notifications, revenue accumulation) amortizes
+  /// across the batch, and planning stops waiting on per-query settlement.
+  /// Still deterministic given the arrival order, but bids inside a batch
+  /// no longer see intra-batch settlements — the documented freshness trade
+  /// (equal to replay when the batch size is 1).
+  kBatchedSettlement,
+};
+
+/// Which ingestion queue the server runs on.
+enum class QueueImpl {
+  /// BoundedQueue: mutex + condvars, supports every backpressure policy.
+  kLocking,
+  /// MpmcRingQueue: lock-free Vyukov ring; producers never touch a mutex.
+  /// Supports only BackpressurePolicy::kReject (a lock-free ring can
+  /// neither block a producer nor atomically evict its oldest element);
+  /// the executor polls with a yield-then-sleep backoff instead of waiting
+  /// on a condvar.
+  kLockFree,
+};
+
+/// One admitted query: what travels through the ingestion queue.
+struct ServingRequest {
+  Query query;
+  /// Admission timestamp — queue-wait and end-to-end latency anchor.
+  std::chrono::steady_clock::time_point admitted_at{};
+};
+
+/// Serving-layer knobs on top of the sharded engine configuration.
+struct ServerConfig {
+  /// Engine knobs (winner determination, pricing, seed, shard count, pool).
+  /// `engine.pool` is the same pool the shard phase of every planned
+  /// auction runs on — the server adds no pool of its own.
+  ShardedEngineConfig engine;
+  /// Ingestion bound. Exact under QueueImpl::kLocking; under kLockFree the
+  /// ring rounds it *up to the next power of two*, so the reject threshold
+  /// can admit up to ~2x this value — size it as a power of two when the
+  /// bound matters.
+  size_t queue_capacity = 1024;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  QueueImpl queue_impl = QueueImpl::kLocking;
+  /// Micro-batch triggers: a batch closes when it holds `max_batch_size`
+  /// requests or `batch_deadline` has elapsed since its first request was
+  /// popped, whichever comes first.
+  int max_batch_size = 16;
+  std::chrono::microseconds batch_deadline{200};
+  ServingMode mode = ServingMode::kDeterministicReplay;
+};
+
+/// Asynchronous serving front-end for the sharded auction engine: producers
+/// Submit() queries into a bounded ingestion queue (block / reject /
+/// drop-oldest backpressure); a single executor thread pulls size- or
+/// deadline-triggered micro-batches and drives them through the
+/// ShardedAuctionEngine (whose shard phase fans out on the configured
+/// ThreadPool). Per-stage latencies — queue wait, auction (plan),
+/// settlement, end-to-end — are recorded into log-bucketed histograms, and
+/// admission verdicts are counted, so tail latency under load is a measured
+/// quantity rather than an offline extrapolation.
+///
+/// Threading contract: Submit() is safe from any number of producer
+/// threads; the engine is touched only by the executor; telemetry accessors
+/// are safe any time (relaxed atomics) but meaningfully consistent after
+/// Stop(). The completion hook runs on the executor thread, in settlement
+/// (arrival) order.
+class AuctionServer {
+ public:
+  using CompletionFn = std::function<void(const AuctionOutcome&)>;
+
+  AuctionServer(const ServerConfig& config, Workload workload,
+                std::vector<std::unique_ptr<BiddingStrategy>> strategies);
+  ~AuctionServer();
+
+  AuctionServer(const AuctionServer&) = delete;
+  AuctionServer& operator=(const AuctionServer&) = delete;
+
+  /// Installs the per-auction completion hook. Must precede Start().
+  void set_on_complete(CompletionFn fn);
+
+  /// Launches the executor thread. Must be called at most once.
+  void Start();
+
+  /// Closes the ingestion queue, lets the executor drain every admitted
+  /// request, and joins it. Idempotent; also invoked by the destructor.
+  void Stop();
+
+  /// Admits one query per the backpressure policy. Thread-safe.
+  QueuePushResult Submit(Query query);
+
+  // --- Telemetry -----------------------------------------------------------
+  /// Stage latencies in microseconds.
+  const LatencyHistogram& queue_wait_us() const { return queue_wait_us_; }
+  const LatencyHistogram& auction_us() const { return auction_us_; }
+  const LatencyHistogram& settlement_us() const { return settlement_us_; }
+  const LatencyHistogram& end_to_end_us() const { return end_to_end_us_; }
+
+  /// Clears the four stage histograms (admission counters are untouched) —
+  /// the warmup/measured boundary of the load harnesses. Call only while no
+  /// request is in flight (e.g. after completed() has caught up with every
+  /// submission), otherwise concurrent Record()s may straddle the reset.
+  void ResetTelemetry() {
+    queue_wait_us_.Reset();
+    auction_us_.Reset();
+    settlement_us_.Reset();
+    end_to_end_us_.Reset();
+  }
+
+  /// Admission / completion counters.
+  int64_t accepted() const;
+  int64_t rejected() const;
+  int64_t dropped_oldest() const;
+  int64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  int64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+
+  /// The served engine (read after Stop() for settled accounts/revenue).
+  const ShardedAuctionEngine& engine() const { return engine_; }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  void ExecutorLoop();
+  /// Lock-free analogue of BoundedQueue::PopBatch: poll with backoff for
+  /// the first request, then drain until full batch, deadline, or closed.
+  bool PopBatchLockFree(std::vector<ServingRequest>* out);
+  void RunBatch(std::vector<ServingRequest>* batch);
+
+  ServerConfig config_;
+  ShardedAuctionEngine engine_;
+  std::unique_ptr<BoundedQueue<ServingRequest>> locking_queue_;
+  std::unique_ptr<MpmcRingQueue<ServingRequest>> ring_;
+  std::atomic<bool> ring_closed_{false};
+  /// Lock-free Submits currently between their closed-check and their
+  /// TryPush return. The executor exits only once this is zero *and* the
+  /// ring is drained, so a producer that raced past the closed-check cannot
+  /// strand an accepted request (Stop()'s drain contract).
+  std::atomic<int64_t> submits_in_flight_{0};
+  std::atomic<int64_t> ring_accepted_{0};
+  std::atomic<int64_t> ring_rejected_{0};
+
+  CompletionFn on_complete_;
+  std::thread executor_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  LatencyHistogram queue_wait_us_;
+  LatencyHistogram auction_us_;
+  LatencyHistogram settlement_us_;
+  LatencyHistogram end_to_end_us_;
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> batches_{0};
+
+  /// Batched-settlement scratch: one plan per in-flight batch slot.
+  std::vector<ShardedAuctionEngine::PlannedAuction> plans_;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_SERVING_AUCTION_SERVER_H_

@@ -1,0 +1,298 @@
+#ifndef SSA_UTIL_BOUNDED_QUEUE_H_
+#define SSA_UTIL_BOUNDED_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ssa {
+
+/// What the ingestion queue does with a producer once it is full (the
+/// admission-control knob of the serving subsystem).
+enum class BackpressurePolicy {
+  /// Block the producer until a consumer frees a slot (lossless; pushes the
+  /// queueing delay back into the caller).
+  kBlock,
+  /// Fail the push immediately (load shedding; the caller sees the verdict
+  /// and can retry, degrade, or count the drop).
+  kReject,
+  /// Evict the oldest queued element to admit the new one (freshness over
+  /// completeness — stale queries are worth the least).
+  kDropOldest,
+};
+
+/// Verdict of one push against the configured backpressure policy.
+enum class QueuePushResult {
+  kAccepted,
+  kRejected,       // kReject policy, queue full
+  kDroppedOldest,  // accepted, but the oldest element was evicted
+  kClosed,         // queue closed — no further admissions
+};
+
+/// Bounded multi-producer/multi-consumer FIFO with pluggable backpressure —
+/// the lock-based QueryQueue of the serving subsystem. One mutex plus two
+/// condition variables: simple, fair enough, and correct under TSan; the
+/// lock-free MpmcRingQueue below is the upgrade path for reject-policy
+/// ingestion where producers must never block on a mutex.
+///
+/// Lifecycle: producers Push() until Close(); consumers Pop()/PopBatch()
+/// drain remaining elements after Close() and then observe end-of-stream
+/// (false). Admission counters are relaxed atomics readable concurrently.
+template <typename T>
+class BoundedQueue {
+ public:
+  BoundedQueue(size_t capacity, BackpressurePolicy policy)
+      : capacity_(capacity), policy_(policy) {
+    SSA_CHECK(capacity >= 1);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Admits `value` per the backpressure policy. Thread-safe.
+  QueuePushResult Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return QueuePushResult::kClosed;
+    QueuePushResult result = QueuePushResult::kAccepted;
+    if (items_.size() >= capacity_) {
+      switch (policy_) {
+        case BackpressurePolicy::kBlock:
+          not_full_.wait(lock,
+                         [&] { return items_.size() < capacity_ || closed_; });
+          if (closed_) return QueuePushResult::kClosed;
+          break;
+        case BackpressurePolicy::kReject:
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          return QueuePushResult::kRejected;
+        case BackpressurePolicy::kDropOldest:
+          items_.pop_front();
+          dropped_oldest_.fetch_add(1, std::memory_order_relaxed);
+          result = QueuePushResult::kDroppedOldest;
+          break;
+      }
+    }
+    items_.push_back(std::move(value));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    not_empty_.notify_one();
+    return result;
+  }
+
+  /// Blocking pop. Returns false iff the queue is closed and drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    popped_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop. Returns false when currently empty.
+  bool TryPop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    popped_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Micro-batch pop: blocks for the first element (indefinitely, like
+  /// Pop), then keeps collecting until `max_batch` elements are held or
+  /// `deadline` has elapsed *since the first element was obtained* — the
+  /// size-or-deadline trigger of the micro-batching server. Appends to
+  /// `*out` (not cleared). Returns false iff closed and drained; a true
+  /// return delivers at least one element. Close() wakes the deadline wait
+  /// early so shutdown never stalls a partially filled batch.
+  bool PopBatch(std::vector<T>* out, size_t max_batch,
+                std::chrono::nanoseconds deadline) {
+    SSA_CHECK(max_batch >= 1);
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    const auto batch_deadline = std::chrono::steady_clock::now() + deadline;
+    size_t taken = 0;
+    for (;;) {
+      while (!items_.empty() && taken < max_batch) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++taken;
+      }
+      if (taken >= max_batch || closed_) break;
+      if (not_empty_.wait_until(lock, batch_deadline, [&] {
+            return !items_.empty() || closed_;
+          })) {
+        continue;  // more items (or closed) — loop to collect / exit
+      }
+      break;  // deadline expired with a partial batch
+    }
+    popped_.fetch_add(taken, std::memory_order_relaxed);
+    lock.unlock();
+    not_full_.notify_all();
+    return true;
+  }
+
+  /// Closes the queue: subsequent pushes fail with kClosed, blocked
+  /// producers wake and fail, consumers drain then see end-of-stream.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t capacity() const { return capacity_; }
+  BackpressurePolicy policy() const { return policy_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  // Admission counters (relaxed; safe to read concurrently).
+  int64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  int64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  int64_t dropped_oldest() const {
+    return dropped_oldest_.load(std::memory_order_relaxed);
+  }
+  int64_t popped() const { return popped_.load(std::memory_order_relaxed); }
+
+ private:
+  const size_t capacity_;
+  const BackpressurePolicy policy_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> dropped_oldest_{0};
+  std::atomic<int64_t> popped_{0};
+};
+
+/// Lock-free bounded MPMC ring (Vyukov's bounded queue): each cell carries a
+/// sequence number producers and consumers claim with one CAS on the shared
+/// head/tail counters; a full or empty ring fails the operation instead of
+/// blocking, so the only backpressure policy it can express is kReject —
+/// which is exactly the ingestion fast path (producers on the request path
+/// must never sleep on a queue mutex). The serving layer pairs it with a
+/// spin-then-yield consumer; everything else should prefer BoundedQueue.
+///
+/// Progress: TryPush/TryPop are lock-free (a stalled thread cannot block
+/// others' unrelated operations) and linearizable per cell via the
+/// acquire/release sequence handshake.
+template <typename T>
+class MpmcRingQueue {
+ public:
+  /// Capacity is rounded up to a power of two (>= 2).
+  explicit MpmcRingQueue(size_t min_capacity) {
+    size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRingQueue(const MpmcRingQueue&) = delete;
+  MpmcRingQueue& operator=(const MpmcRingQueue&) = delete;
+
+  /// Attempts to enqueue; false when the ring is full.
+  bool TryPush(T value) {
+    Cell* cell;
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full: the cell still holds an unconsumed element
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Attempts to dequeue; false when the ring is empty.
+  bool TryPop(T* out) {
+    Cell* cell;
+    size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = std::move(cell->value);
+    cell->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Instantaneous (racy) element count — monitoring only.
+  size_t SizeApprox() const {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> sequence{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+};
+
+}  // namespace ssa
+
+#endif  // SSA_UTIL_BOUNDED_QUEUE_H_

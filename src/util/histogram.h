@@ -1,0 +1,155 @@
+#ifndef SSA_UTIL_HISTOGRAM_H_
+#define SSA_UTIL_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ssa {
+
+/// Log-bucketed latency histogram (HdrHistogram-style): each power-of-two
+/// octave is split into 2^kSubBucketBits linear sub-buckets, so every
+/// recorded value lands in a bucket whose width is at most 1/16 of its
+/// magnitude — percentile estimates carry <= 6.25% relative error while the
+/// whole table is ~1000 fixed counters regardless of range. Values below 16
+/// are recorded exactly.
+///
+/// Units are the caller's choice (the serving telemetry records
+/// microseconds). Record() is wait-free and thread-safe (relaxed atomic
+/// increments — per-bucket counts are independent and the aggregates are
+/// monotone counters); the read-side accessors (Percentile, mean, ...) take
+/// a racy but internally consistent-enough snapshot and are meant for
+/// reporting after or outside the hot path, not for synchronization.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() : counts_(kNumBuckets) {}
+
+  // The histogram is identified by its counters; copying atomics is not
+  // meaningful, use MergeFrom for aggregation.
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one value. Thread-safe, wait-free.
+  void Record(uint64_t value) {
+    counts_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    AtomicMax(&max_, value);
+    AtomicMin(&min_, value);
+  }
+
+  /// Total number of recorded values.
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Sum of all recorded values (exact).
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Largest / smallest recorded value (exact). 0 when empty.
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t min() const {
+    const uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == kEmptyMin ? 0 : m;
+  }
+  double mean() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  /// Value at percentile p in [0, 100]: the upper bound of the first bucket
+  /// whose cumulative count reaches ceil(p/100 * count). Exact for values
+  /// < 16, within 6.25% above. Returns 0 when empty.
+  uint64_t Percentile(double p) const {
+    const uint64_t n = count();
+    if (n == 0) return 0;
+    if (p <= 0.0) return min();
+    uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(n));
+    if (rank * 100 < static_cast<uint64_t>(p * static_cast<double>(n))) ++rank;
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    uint64_t seen = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      seen += counts_[b].load(std::memory_order_relaxed);
+      if (seen >= rank) {
+        const uint64_t upper = BucketUpper(b);
+        const uint64_t hi = max();
+        return upper < hi ? upper : hi;  // never report beyond the true max
+      }
+    }
+    return max();
+  }
+
+  /// Folds `other`'s counters into this histogram. Not concurrency-safe
+  /// against writers of either side — post-run aggregation only.
+  void MergeFrom(const LatencyHistogram& other) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      counts_[b].fetch_add(other.counts_[b].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+    if (other.count() > 0) {
+      AtomicMax(&max_, other.max());
+      AtomicMin(&min_, other.min());
+    }
+  }
+
+  /// Clears every counter. Not concurrency-safe against writers.
+  void Reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+    min_.store(kEmptyMin, std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of the value range mapped to bucket `b` (exposed
+  /// for the unit tests pinning the bucket geometry).
+  static uint64_t BucketUpper(int b) {
+    if (b < kSubBuckets) return static_cast<uint64_t>(b);
+    const int block = b / kSubBuckets;  // >= 1
+    const int sub = b % kSubBuckets;
+    const int shift = block - 1;
+    const uint64_t lower = static_cast<uint64_t>(kSubBuckets + sub) << shift;
+    return lower + ((static_cast<uint64_t>(1) << shift) - 1);
+  }
+
+ private:
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 16
+  // Exact [0, 16) region plus sub-bucketed octaves up to msb 63: the top
+  // index is (63 - kSubBucketBits + 1) * kSubBuckets + (kSubBuckets - 1).
+  static constexpr int kNumBuckets = (64 - kSubBucketBits + 1) * kSubBuckets;
+  static constexpr uint64_t kEmptyMin = ~static_cast<uint64_t>(0);
+
+  static int BucketIndex(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<int>(v);
+    const int msb = 63 - __builtin_clzll(v);  // >= kSubBucketBits
+    const int shift = msb - kSubBucketBits;
+    const int sub =
+        static_cast<int>((v >> shift) & (kSubBuckets - 1));
+    return (msb - kSubBucketBits + 1) * kSubBuckets + sub;
+  }
+
+  static void AtomicMax(std::atomic<uint64_t>* slot, uint64_t v) {
+    uint64_t cur = slot->load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void AtomicMin(std::atomic<uint64_t>* slot, uint64_t v) {
+    uint64_t cur = slot->load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::vector<std::atomic<uint64_t>> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> min_{kEmptyMin};
+};
+
+}  // namespace ssa
+
+#endif  // SSA_UTIL_HISTOGRAM_H_

@@ -19,6 +19,10 @@ namespace ssa {
 /// Ordering is the strict (weight, id) pair order the selection kernels rely
 /// on: deterministic and insertion-order independent, so the retained top-k
 /// set per heap is identical to the previous priority_queue implementation.
+/// Tie-break: among equal weights the *larger* advertiser id ranks higher
+/// (is retained first), so ExtractDescending lists tied entries with ids
+/// descending. Within one auction ids are unique, so the order is total and
+/// the retained set is a pure function of the offered multiset.
 class TopKHeapSet {
  public:
   struct Entry {
@@ -27,9 +31,10 @@ class TopKHeapSet {
   };
 
   /// Prepares `num_heaps` empty heaps of capacity `capacity` each, reusing
-  /// the existing buffer when large enough.
+  /// the existing buffer when large enough. Capacity 0 is a valid degenerate
+  /// top-0: every Offer is rejected (k = 0 keeps no candidates).
   void Reset(int num_heaps, int capacity) {
-    SSA_CHECK(num_heaps >= 0 && capacity >= 1);
+    SSA_CHECK(num_heaps >= 0 && capacity >= 0);
     num_heaps_ = num_heaps;
     capacity_ = capacity;
     sizes_.assign(num_heaps, 0);
@@ -48,6 +53,7 @@ class TopKHeapSet {
   /// minimum iff (weight, id) strictly beats it. Returns whether the entry
   /// was retained.
   bool Offer(int heap, double weight, AdvertiserId id) {
+    if (capacity_ == 0) return false;  // top-0 retains nothing
     Entry* e = entries_.data() + static_cast<size_t>(heap) * capacity_;
     int& n = sizes_[heap];
     const Entry x{weight, id};

@@ -1,0 +1,148 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ssa {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // Values below 16 land in width-1 buckets: every percentile is exact.
+  LatencyHistogram h;
+  for (uint64_t v = 0; v < 16; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_EQ(h.sum(), 120u);
+  EXPECT_EQ(h.Percentile(50), 7u);    // rank 8 of 16 -> value 7
+  EXPECT_EQ(h.Percentile(100), 15u);
+  EXPECT_EQ(h.Percentile(0), 0u);
+}
+
+TEST(LatencyHistogramTest, PercentileRelativeErrorBounded) {
+  // Log-bucketing promises <= 1/16 relative error above the exact region.
+  Rng rng(99);
+  std::vector<uint64_t> values;
+  LatencyHistogram h;
+  for (int i = 0; i < 20000; ++i) {
+    // Span several octaves: 16 .. ~1e6.
+    const uint64_t v = 16 + rng.NextBounded(1000000);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const size_t rank = static_cast<size_t>(p / 100.0 * values.size());
+    const uint64_t exact = values[std::min(rank, values.size() - 1)];
+    const uint64_t approx = h.Percentile(p);
+    EXPECT_GE(approx * 16.0, exact * 15.0)
+        << "p" << p << " under-estimates beyond bucket width";
+    EXPECT_LE(static_cast<double>(approx), exact * (1.0 + 1.0 / 16.0) + 1.0)
+        << "p" << p << " over-estimates beyond bucket width";
+  }
+}
+
+TEST(LatencyHistogramTest, PercentileNeverExceedsMax) {
+  LatencyHistogram h;
+  h.Record(1000);
+  h.Record(1001);
+  EXPECT_EQ(h.Percentile(100), 1001u);
+  EXPECT_EQ(h.max(), 1001u);
+  EXPECT_LE(h.Percentile(50), 1001u);
+}
+
+TEST(LatencyHistogramTest, SingleValueEverywhere) {
+  LatencyHistogram h;
+  h.Record(12345);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_LE(h.Percentile(p), 12345u);
+    EXPECT_GE(h.Percentile(p) * 16.0, 12345u * 15.0);
+  }
+  EXPECT_EQ(h.min(), 12345u);
+  EXPECT_EQ(h.max(), 12345u);
+  EXPECT_DOUBLE_EQ(h.mean(), 12345.0);
+}
+
+TEST(LatencyHistogramTest, BucketGeometryIsMonotoneAndContiguous) {
+  // Upper bounds must strictly increase and each bucket must start right
+  // after the previous one ends (no value can fall between buckets).
+  uint64_t prev_upper = LatencyHistogram::BucketUpper(0);
+  EXPECT_EQ(prev_upper, 0u);
+  for (int b = 1; b < 512; ++b) {
+    const uint64_t upper = LatencyHistogram::BucketUpper(b);
+    EXPECT_GT(upper, prev_upper) << "bucket " << b;
+    prev_upper = upper;
+  }
+}
+
+TEST(LatencyHistogramTest, MergeFromEqualsCombinedRecording) {
+  Rng rng(7);
+  LatencyHistogram a, b, combined;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.NextBounded(100000);
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    combined.Record(v);
+  }
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double p : {50.0, 95.0, 99.0}) {
+    EXPECT_EQ(a.Percentile(p), combined.Percentile(p));
+  }
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Record(5);
+  h.Record(500);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  h.Record(3);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Percentile(99), 3u);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordLosesNothing) {
+  // Record is wait-free with relaxed atomics; N threads x M records must
+  // all be counted (also the TSan target for the telemetry write path).
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(rng.NextBounded(1 << 20));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace ssa

@@ -6,6 +6,7 @@
 #include "core/winner_determination.h"
 #include "test_util.h"
 #include "util/rng.h"
+#include "util/topk_heap.h"
 
 namespace ssa {
 namespace {
@@ -73,6 +74,87 @@ TEST(TreeTopKTest, MoreBlocksThanAdvertisersClamps) {
   const TreeAggregationResult r = TreeTopKAggregate(m, 64);
   const std::vector<AdvertiserId> sequential = SelectTopPerSlotCandidates(m, 2);
   EXPECT_EQ(r.candidates, sequential);
+}
+
+TEST(TreeTopKTest, ZeroSlotsYieldsNoCandidates) {
+  // k = 0: a matrix with no slots selects nobody, through both the
+  // sequential heaps (top-0) and the tree network.
+  Rng rng(47);
+  RevenueMatrix m = testing_util::RandomRevenueMatrix(20, 0, rng);
+  EXPECT_TRUE(SelectTopPerSlotCandidates(m, 0).empty());
+  EXPECT_TRUE(TreeTopKAggregate(m, 4).candidates.empty());
+}
+
+TEST(TreeTopKTest, MoreSlotsThanAdvertisers) {
+  // k >= n: every advertiser with any positive marginal weight is a
+  // candidate, and tree and sequential selection agree exactly.
+  Rng rng(53);
+  RevenueMatrix m = testing_util::RandomRevenueMatrix(3, 8, rng, 10.0, 3.0);
+  const std::vector<AdvertiserId> sequential = SelectTopPerSlotCandidates(m, 8);
+  for (int blocks : {1, 2, 3}) {
+    EXPECT_EQ(TreeTopKAggregate(m, blocks).candidates, sequential);
+  }
+}
+
+TEST(TreeTopKTest, TiedRevenuesStableAcrossPartitionings) {
+  // All-equal positive weights force every retained set to be decided by
+  // the documented id tie-break (higher id ranks first); any leaf
+  // partitioning must select the same candidates as the sequential scan.
+  RevenueMatrix m(30, 4);
+  for (AdvertiserId i = 0; i < 30; ++i) {
+    for (SlotIndex j = 0; j < 4; ++j) m.Set(i, j, 5.0);
+  }
+  const std::vector<AdvertiserId> sequential = SelectTopPerSlotCandidates(m, 4);
+  // Top-4 per slot under the tie-break = the four largest ids.
+  EXPECT_EQ(sequential, (std::vector<AdvertiserId>{26, 27, 28, 29}));
+  for (int blocks : {1, 2, 5, 16, 30}) {
+    EXPECT_EQ(TreeTopKAggregate(m, blocks).candidates, sequential)
+        << "blocks=" << blocks;
+  }
+}
+
+TEST(TreeTopKTest, TreeMergeToCandidatesMatchesFlatSelection) {
+  // The exposed partial-merge entry (what the sharded coordinator feeds):
+  // leaves built from disjoint advertiser ranges, merged by the tree, must
+  // reproduce SelectTopPerSlotCandidates — including duplicate weights
+  // across partials.
+  Rng rng(59);
+  RevenueMatrix m(200, 5);
+  for (AdvertiserId i = 0; i < 200; ++i) {
+    for (SlotIndex j = 0; j < 5; ++j) {
+      // Coarse weights: plenty of cross-leaf ties.
+      m.Set(i, j, static_cast<double>(rng.NextBounded(8)));
+    }
+  }
+  const std::vector<AdvertiserId> sequential = SelectTopPerSlotCandidates(m, 5);
+  for (int parts : {2, 7, 16}) {
+    std::vector<SlotTopK> partials(parts);
+    for (int p = 0; p < parts; ++p) {
+      const AdvertiserId lo = static_cast<AdvertiserId>(200 * p / parts);
+      const AdvertiserId hi = static_cast<AdvertiserId>(200 * (p + 1) / parts);
+      partials[p].per_slot.resize(5);
+      TopKHeapSet heaps;
+      heaps.Reset(5, 5);
+      const double* base = m.UnassignedData();
+      for (AdvertiserId i = lo; i < hi; ++i) {
+        for (SlotIndex j = 0; j < 5; ++j) {
+          const double w = m.Row(i)[j] - base[i];
+          if (w > 0.0) heaps.Offer(j, w, i);
+        }
+      }
+      for (SlotIndex j = 0; j < 5; ++j) {
+        heaps.ExtractDescending(j, &partials[p].per_slot[j]);
+      }
+    }
+    ThreadPool pool(3);
+    std::vector<SlotTopK> copy = partials;
+    EXPECT_EQ(TreeMergeToCandidates(std::move(partials), 5, 200, nullptr),
+              sequential)
+        << "serial merge, parts=" << parts;
+    EXPECT_EQ(TreeMergeToCandidates(std::move(copy), 5, 200, &pool),
+              sequential)
+        << "pooled merge, parts=" << parts;
+  }
 }
 
 }  // namespace

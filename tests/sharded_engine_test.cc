@@ -103,8 +103,12 @@ TEST_P(ShardedEquivalenceTest, MatchesSingleEngineBitwiseOnPool) {
   ExpectBitwiseEquivalent(&single, &sharded, 100);
 }
 
+// 8 and 12 cross ShardedAuctionEngine::kTreeMergeMinShards: those instances
+// run the coordinator merge through the Section III-E parallel_topk tree
+// network (12 also exercises the odd-node promotion), and must stay as
+// bitwise as the flat re-offer path below the threshold.
 INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedEquivalenceTest,
-                         ::testing::Values(1, 2, 7));
+                         ::testing::Values(1, 2, 7, 8, 12));
 
 TEST(ShardedEngineTest, DenseWdMethodsAlsoMatch) {
   // The non-reduced methods skip the top-k merge and run on the full
@@ -137,6 +141,36 @@ TEST(ShardedEngineTest, VcgPricingMatches) {
   AuctionEngine single(engine_config, w1, RoiStrategies(w1));
   ShardedAuctionEngine sharded(sharded_config, w2, RoiStrategies(w2));
   ExpectBitwiseEquivalent(&single, &sharded, 50);
+}
+
+TEST(ShardedEngineTest, PurchaseWorkloadMatchesBitwise) {
+  // purchase_given_click > 0 adds a second user-RNG draw per clicked slot;
+  // the sharded engine must keep the draw sequence — and thus purchases,
+  // value updates, and accounts — bitwise identical, including across the
+  // tree-merge shard counts.
+  for (const int num_shards : {2, 8}) {
+    WorkloadConfig wc = SmallConfig(59);
+    wc.purchase_given_click = 0.5;
+    Workload w1 = MakePaperWorkload(wc);
+    Workload w2 = MakePaperWorkload(wc);
+    EngineConfig engine_config;
+    engine_config.seed = 61;
+    ShardedEngineConfig sharded_config;
+    sharded_config.engine = engine_config;
+    sharded_config.num_shards = num_shards;
+    AuctionEngine single(engine_config, w1, RoiStrategies(w1));
+    ShardedAuctionEngine sharded(sharded_config, w2, RoiStrategies(w2));
+    ExpectBitwiseEquivalent(&single, &sharded, 120);
+    // The purchase path must actually fire for the equivalence to mean
+    // anything.
+    int purchases = 0;
+    for (int t = 0; t < 50; ++t) {
+      for (const UserEvent& e : sharded.RunAuction().events) {
+        purchases += e.purchased;
+      }
+    }
+    EXPECT_GT(purchases, 0);
+  }
 }
 
 TEST(ShardedEngineTest, ShardPartitionCoversPopulationOnce) {

@@ -197,6 +197,54 @@ TEST(TopKHeapSetTest, MatchesPriorityQueueSemantics) {
   }
 }
 
+TEST(TopKHeapSetTest, CapacityZeroRetainsNothing) {
+  // Top-0 is a valid degenerate configuration (k = 0): every offer is
+  // rejected and extraction yields empty lists.
+  TopKHeapSet heaps;
+  heaps.Reset(3, 0);
+  EXPECT_FALSE(heaps.Offer(0, 5.0, 1));
+  EXPECT_FALSE(heaps.Offer(2, 1e9, 2));
+  for (int h = 0; h < 3; ++h) EXPECT_EQ(heaps.size(h), 0);
+  std::vector<std::pair<double, AdvertiserId>> out;
+  heaps.ExtractDescending(1, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TopKHeapSetTest, CapacityBeyondPopulationKeepsEverything) {
+  // k >= n: no offer is ever evicted; extraction is a full descending sort.
+  TopKHeapSet heaps;
+  heaps.Reset(1, 100);
+  for (int e = 0; e < 10; ++e) {
+    EXPECT_TRUE(heaps.Offer(0, static_cast<double>(e % 4), e));
+  }
+  EXPECT_EQ(heaps.size(0), 10);
+  std::vector<std::pair<double, AdvertiserId>> got;
+  heaps.ExtractDescending(0, &got);
+  ASSERT_EQ(got.size(), 10u);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_TRUE(got[i - 1] > got[i]) << "strict (weight, id) descending";
+  }
+}
+
+TEST(TopKHeapSetTest, TiedWeightsBreakByIdDescending) {
+  // The documented stable tie-break: among equal weights the larger id
+  // ranks higher, independent of insertion order.
+  for (const std::vector<AdvertiserId> order :
+       {std::vector<AdvertiserId>{1, 2, 3, 4, 5},
+        std::vector<AdvertiserId>{5, 4, 3, 2, 1},
+        std::vector<AdvertiserId>{3, 1, 5, 2, 4}}) {
+    TopKHeapSet heaps;
+    heaps.Reset(1, 3);
+    for (AdvertiserId id : order) heaps.Offer(0, 7.0, id);
+    std::vector<std::pair<double, AdvertiserId>> got;
+    heaps.ExtractDescending(0, &got);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].second, 5);
+    EXPECT_EQ(got[1].second, 4);
+    EXPECT_EQ(got[2].second, 3);
+  }
+}
+
 TEST(ThreadPoolTest, WaitIdleThenReuse) {
   ThreadPool pool(2);
   std::atomic<int> count{0};
