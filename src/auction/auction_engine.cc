@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "durability/checkpoint.h"
 #include "util/timer.h"
 
 namespace ssa {
@@ -106,15 +107,68 @@ const AuctionOutcome& AuctionEngine::RunAuctionOn(const Query& query) {
 
   // --- Step 6 prep: prices.
   timer.Reset();
-  const std::vector<Money> prices =
+  outcome_.prices =
       ComputePrices(config_.pricing, revenue, model, outcome_.wd.allocation);
   outcome_.pricing_ms = timer.ElapsedMillis();
 
   // --- Step 5: user action simulation, then charging and accounting.
-  SettleAuction(config_.pricing, model, prices, &workload_.accounts,
+  SettleAuction(config_.pricing, model, outcome_.prices, &workload_.accounts,
                 strategies_, &user_rng_, &outcome_);
   total_revenue_ += outcome_.revenue_charged;
   return outcome_;
+}
+
+void AuctionEngine::CaptureCheckpoint(EngineCheckpoint* ckpt) const {
+  *ckpt = EngineCheckpoint{};
+  ckpt->seq = static_cast<uint64_t>(auctions_run_);
+  ckpt->total_revenue = total_revenue_;
+  user_rng_.SaveState(ckpt->user_rng);
+  ckpt->query_gen = query_gen_.SaveState();
+  ckpt->num_advertisers = static_cast<int32_t>(strategies_.size());
+  ckpt->num_slots = workload_.config.num_slots;
+  ckpt->num_keywords = workload_.config.num_keywords;
+  ckpt->accounts = workload_.accounts;
+  ckpt->strategy_state.resize(strategies_.size());
+  for (size_t i = 0; i < strategies_.size(); ++i) {
+    strategies_[i]->SaveState(&ckpt->strategy_state[i]);
+  }
+  ckpt->cache_keys = bid_cache_.ExportKeys();
+}
+
+Status AuctionEngine::RestoreCheckpoint(const EngineCheckpoint& ckpt) {
+  const size_t n = strategies_.size();
+  if (ckpt.num_advertisers != static_cast<int32_t>(n) ||
+      ckpt.num_slots != workload_.config.num_slots ||
+      ckpt.num_keywords != workload_.config.num_keywords) {
+    return Status::InvalidArgument(
+        "checkpoint workload shape does not match this engine");
+  }
+  if (ckpt.accounts.size() != n || ckpt.strategy_state.size() != n) {
+    return Status::InvalidArgument("checkpoint population size mismatch");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    SSA_RETURN_IF_ERROR(strategies_[i]->RestoreState(ckpt.strategy_state[i]));
+  }
+  workload_.accounts = ckpt.accounts;
+  user_rng_.RestoreState(ckpt.user_rng);
+  query_gen_.RestoreState(ckpt.query_gen);
+  auctions_run_ = static_cast<int64_t>(ckpt.seq);
+  total_revenue_ = ckpt.total_revenue;
+  bid_cache_.PrimeExpectedKeys(ckpt.cache_keys);
+  outcome_ = AuctionOutcome{};
+  return Status::Ok();
+}
+
+Status AuctionEngine::WriteCheckpoint(const std::string& path) const {
+  EngineCheckpoint ckpt;
+  CaptureCheckpoint(&ckpt);
+  return WriteCheckpointFile(path, ckpt);
+}
+
+Status AuctionEngine::RestoreFromCheckpoint(const std::string& path) {
+  EngineCheckpoint ckpt;
+  SSA_RETURN_IF_ERROR(ReadCheckpointFile(path, &ckpt));
+  return RestoreCheckpoint(ckpt);
 }
 
 }  // namespace ssa

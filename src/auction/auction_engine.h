@@ -15,6 +15,7 @@
 namespace ssa {
 
 class ThreadPool;
+struct EngineCheckpoint;
 
 /// What happened to one filled slot after the page was served.
 struct UserEvent {
@@ -32,6 +33,9 @@ struct UserEvent {
 struct AuctionOutcome {
   Query query;
   WdResult wd;
+  /// Per-slot charge for the allocation (GSP per-click or VCG lump) — what
+  /// the settlement log persists alongside the realized events.
+  std::vector<Money> prices;
   std::vector<UserEvent> events;  // one per filled slot, in slot order
   Money revenue_charged = 0;
 
@@ -107,6 +111,19 @@ class AuctionEngine {
   /// Compiled-bids cache stats: strategies usually re-emit identical tables
   /// for a keyword, so most auctions skip recompilation entirely.
   const CompiledBidsCache& bid_cache() const { return bid_cache_; }
+
+  /// Durability hooks (src/durability/): snapshot / rewind the complete
+  /// trajectory state — accounts, both RNG streams, auction counter, revenue
+  /// accumulator, strategy blobs, compiled-bids cache keys. An engine
+  /// restored from a checkpoint continues bitwise-identically to the
+  /// uninterrupted run. Restore requires an engine built from the same
+  /// workload shape and strategy lineup and fails without partial effects on
+  /// shape mismatches (strategy-blob errors surface per strategy).
+  void CaptureCheckpoint(EngineCheckpoint* ckpt) const;
+  Status RestoreCheckpoint(const EngineCheckpoint& ckpt);
+  /// File forms: versioned, CRC-guarded, atomically replaced on write.
+  Status WriteCheckpoint(const std::string& path) const;
+  Status RestoreFromCheckpoint(const std::string& path);
 
  private:
   EngineConfig config_;

@@ -43,6 +43,23 @@ class QueryGenerator {
   int num_keywords() const { return num_keywords_; }
   int64_t time() const { return time_; }
 
+  /// Generator position for checkpointing: the RNG state plus the auction
+  /// counter. Restoring it resumes the exact query stream.
+  struct State {
+    uint64_t rng[4] = {0, 0, 0, 0};
+    int64_t time = 0;
+  };
+  State SaveState() const {
+    State state;
+    rng_.SaveState(state.rng);
+    state.time = time_;
+    return state;
+  }
+  void RestoreState(const State& state) {
+    rng_.RestoreState(state.rng);
+    time_ = state.time;
+  }
+
  private:
   int num_keywords_;
   Rng rng_;

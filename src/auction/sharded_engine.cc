@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/expected_revenue.h"
+#include "durability/checkpoint.h"
 #include "core/parallel_topk.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -173,10 +174,11 @@ const AuctionOutcome& ShardedAuctionEngine::SettlePlanned(
     PlannedAuction* plan) {
   const ClickModel& model = *workload_.click_model;
   outcome_ = std::move(plan->outcome);
+  outcome_.prices = std::move(plan->prices);
   ++auctions_run_;
 
   // --- Step 5: user action simulation, charging, accounting, notifications.
-  SettleAuction(config_.engine.pricing, model, plan->prices,
+  SettleAuction(config_.engine.pricing, model, outcome_.prices,
                 &workload_.accounts, strategies_, &user_rng_, &outcome_);
   total_revenue_ += outcome_.revenue_charged;
   return outcome_;
@@ -199,6 +201,82 @@ int64_t ShardedAuctionEngine::cache_misses() const {
   int64_t total = 0;
   for (const Shard& s : shards_) total += s.cache.misses();
   return total;
+}
+
+int64_t ShardedAuctionEngine::verified_recompiles() const {
+  int64_t total = 0;
+  for (const Shard& s : shards_) total += s.cache.verified_recompiles();
+  return total;
+}
+
+void ShardedAuctionEngine::CaptureCheckpoint(EngineCheckpoint* ckpt) const {
+  *ckpt = EngineCheckpoint{};
+  ckpt->seq = static_cast<uint64_t>(auctions_run_);
+  ckpt->total_revenue = total_revenue_;
+  user_rng_.SaveState(ckpt->user_rng);
+  ckpt->query_gen = query_gen_.SaveState();
+  ckpt->num_advertisers = static_cast<int32_t>(strategies_.size());
+  ckpt->num_slots = workload_.config.num_slots;
+  ckpt->num_keywords = workload_.config.num_keywords;
+  ckpt->accounts = workload_.accounts;
+  ckpt->strategy_state.resize(strategies_.size());
+  for (size_t i = 0; i < strategies_.size(); ++i) {
+    strategies_[i]->SaveState(&ckpt->strategy_state[i]);
+  }
+  // Shard caches key on local index i - begin; the checkpoint stores keys by
+  // global advertiser id so it is portable across shard layouts.
+  ckpt->cache_keys.resize(strategies_.size());
+  for (const Shard& shard : shards_) {
+    const std::vector<CompiledBidsCache::KeySnapshot> local =
+        shard.cache.ExportKeys();
+    for (size_t j = 0; j < local.size(); ++j) {
+      ckpt->cache_keys[shard.begin + j] = local[j];
+    }
+  }
+}
+
+Status ShardedAuctionEngine::RestoreCheckpoint(const EngineCheckpoint& ckpt) {
+  const size_t n = strategies_.size();
+  if (ckpt.num_advertisers != static_cast<int32_t>(n) ||
+      ckpt.num_slots != workload_.config.num_slots ||
+      ckpt.num_keywords != workload_.config.num_keywords) {
+    return Status::InvalidArgument(
+        "checkpoint workload shape does not match this engine");
+  }
+  if (ckpt.accounts.size() != n || ckpt.strategy_state.size() != n) {
+    return Status::InvalidArgument("checkpoint population size mismatch");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    SSA_RETURN_IF_ERROR(strategies_[i]->RestoreState(ckpt.strategy_state[i]));
+  }
+  workload_.accounts = ckpt.accounts;
+  user_rng_.RestoreState(ckpt.user_rng);
+  query_gen_.RestoreState(ckpt.query_gen);
+  auctions_run_ = static_cast<int64_t>(ckpt.seq);
+  total_revenue_ = ckpt.total_revenue;
+  for (Shard& shard : shards_) {
+    std::vector<CompiledBidsCache::KeySnapshot> local(shard.end - shard.begin);
+    for (size_t j = 0; j < local.size(); ++j) {
+      if (shard.begin + j < ckpt.cache_keys.size()) {
+        local[j] = ckpt.cache_keys[shard.begin + j];
+      }
+    }
+    shard.cache.PrimeExpectedKeys(local);
+  }
+  outcome_ = AuctionOutcome{};
+  return Status::Ok();
+}
+
+Status ShardedAuctionEngine::WriteCheckpoint(const std::string& path) const {
+  EngineCheckpoint ckpt;
+  CaptureCheckpoint(&ckpt);
+  return WriteCheckpointFile(path, ckpt);
+}
+
+Status ShardedAuctionEngine::RestoreFromCheckpoint(const std::string& path) {
+  EngineCheckpoint ckpt;
+  SSA_RETURN_IF_ERROR(ReadCheckpointFile(path, &ckpt));
+  return RestoreCheckpoint(ckpt);
 }
 
 }  // namespace ssa

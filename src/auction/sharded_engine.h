@@ -17,6 +17,7 @@
 namespace ssa {
 
 class ThreadPool;
+struct EngineCheckpoint;
 
 /// Configuration of the sharded engine: the base engine knobs (winner
 /// determination, pricing, seed) plus the shard count and the pool the
@@ -112,6 +113,18 @@ class ShardedAuctionEngine {
   /// AuctionEngine::bid_cache() totals).
   int64_t cache_hits() const;
   int64_t cache_misses() const;
+  /// Post-restore recompilations whose fingerprint matched the checkpointed
+  /// key, summed over all shards.
+  int64_t verified_recompiles() const;
+
+  /// Durability hooks — same contract and file format as AuctionEngine's:
+  /// the checkpoint is shard-layout-independent (cache keys are stored by
+  /// global advertiser id), so a K-shard engine restores a checkpoint taken
+  /// by a single engine or any other shard count, and vice versa.
+  void CaptureCheckpoint(EngineCheckpoint* ckpt) const;
+  Status RestoreCheckpoint(const EngineCheckpoint& ckpt);
+  Status WriteCheckpoint(const std::string& path) const;
+  Status RestoreFromCheckpoint(const std::string& path);
 
  private:
   struct Shard {

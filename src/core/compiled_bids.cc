@@ -335,11 +335,43 @@ const CompiledBids& CompiledBidsCache::Get(AdvertiserId i,
     return entry.compiled;
   }
   ++misses_;
+  if (entry.expected) {
+    if (entry.expected_fingerprint == fingerprint &&
+        entry.expected_num_slots == num_slots) {
+      ++verified_recompiles_;
+    }
+    entry.expected = false;  // one verification shot per restore
+  }
   entry.compiled.CompileFrom(bids, num_slots);  // in place: reuses buffers
   entry.fingerprint = fingerprint;
   entry.num_slots = num_slots;
   entry.valid = true;
   return entry.compiled;
+}
+
+std::vector<CompiledBidsCache::KeySnapshot> CompiledBidsCache::ExportKeys()
+    const {
+  std::vector<KeySnapshot> keys(entries_.size());
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    keys[i].valid = entries_[i].valid;
+    keys[i].fingerprint = entries_[i].fingerprint;
+    keys[i].num_slots = entries_[i].num_slots;
+  }
+  return keys;
+}
+
+void CompiledBidsCache::PrimeExpectedKeys(
+    const std::vector<KeySnapshot>& keys) {
+  if (entries_.size() < keys.size()) entries_.resize(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Entry& entry = entries_[i];
+    // Invalidate any live compilation: the engine is being rewound to the
+    // checkpoint, so cached tables from beyond it must not be served.
+    entry.valid = false;
+    entry.expected = keys[i].valid;
+    entry.expected_fingerprint = keys[i].fingerprint;
+    entry.expected_num_slots = keys[i].num_slots;
+  }
 }
 
 }  // namespace ssa

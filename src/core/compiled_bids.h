@@ -122,16 +122,45 @@ class CompiledBidsCache {
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
 
+  /// One cached entry's identity, without its compiled payload — what engine
+  /// checkpoints persist. Compilations are pure functions of (table,
+  /// num_slots), so a checkpoint only needs the keys: after restore the
+  /// tables recompile on demand and the stored fingerprints verify that the
+  /// restored strategies re-emit exactly the tables that were cached.
+  struct KeySnapshot {
+    bool valid = false;
+    uint64_t fingerprint = 0;
+    int32_t num_slots = -1;
+  };
+
+  /// Snapshot of every entry's key, indexed by advertiser slot.
+  std::vector<KeySnapshot> ExportKeys() const;
+
+  /// Primes the cache with the keys a checkpoint recorded. Entries stay
+  /// uncompiled (recompile on demand); the first Get() per advertiser checks
+  /// the incoming table's fingerprint against the expected key and counts a
+  /// verified recompilation on match — a cheap end-to-end integrity signal
+  /// that the restored strategy state reproduces the checkpointed tables.
+  void PrimeExpectedKeys(const std::vector<KeySnapshot>& keys);
+
+  /// Post-restore recompilations whose fingerprint matched the primed key.
+  int64_t verified_recompiles() const { return verified_recompiles_; }
+
  private:
   struct Entry {
     bool valid = false;
     uint64_t fingerprint = 0;
     int num_slots = -1;
+    /// Key recorded by a checkpoint, awaiting verification on first Get().
+    bool expected = false;
+    uint64_t expected_fingerprint = 0;
+    int expected_num_slots = -1;
     CompiledBids compiled;
   };
   std::deque<Entry> entries_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t verified_recompiles_ = 0;
 };
 
 }  // namespace ssa

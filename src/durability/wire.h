@@ -1,0 +1,128 @@
+#ifndef SSA_DURABILITY_WIRE_H_
+#define SSA_DURABILITY_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ssa {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `data` — the checksum
+/// guarding every settlement-log record and checkpoint payload. A torn or
+/// bit-flipped tail fails this check and is truncated instead of being
+/// replayed into account state.
+uint32_t Crc32(std::string_view data);
+
+/// Little-endian binary encoder for the durability formats. Fixed-width
+/// fields only: the encoding of a value is a pure function of the value, so
+/// two engines in bitwise-identical states serialize to identical bytes
+/// (checkpoints and log records can be compared byte-for-byte in tests).
+class WireWriter {
+ public:
+  explicit WireWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutBytes(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutBytes(&v, sizeof(v)); }
+  void PutI32(int32_t v) { PutBytes(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutBytes(&v, sizeof(v)); }
+  /// Doubles travel as their IEEE-754 bit pattern — bitwise round trips,
+  /// including negative zero and NaN payloads.
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+  void PutDoubleVector(const std::vector<double>& v) {
+    PutU32(static_cast<uint32_t>(v.size()));
+    for (double x : v) PutDouble(x);
+  }
+
+ private:
+  void PutBytes(const void* p, size_t n) {
+    // The library targets little-endian hosts (x86/aarch64); a fixed-width
+    // memcpy is the canonical little-endian encoding there.
+    out_->append(reinterpret_cast<const char*>(p), n);
+  }
+
+  std::string* out_;
+};
+
+/// Decoder over a byte range. Every Get returns a Status instead of
+/// asserting: durability inputs are untrusted bytes off disk, and a short
+/// read must surface as an error the recovery path can act on (truncate),
+/// never as UB or an abort.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+  Status GetU8(uint8_t* v) { return GetBytes(v, sizeof(*v)); }
+  Status GetU32(uint32_t* v) { return GetBytes(v, sizeof(*v)); }
+  Status GetU64(uint64_t* v) { return GetBytes(v, sizeof(*v)); }
+  Status GetI32(int32_t* v) { return GetBytes(v, sizeof(*v)); }
+  Status GetI64(int64_t* v) { return GetBytes(v, sizeof(*v)); }
+  Status GetDouble(double* v) {
+    uint64_t bits = 0;
+    SSA_RETURN_IF_ERROR(GetU64(&bits));
+    std::memcpy(v, &bits, sizeof(*v));
+    return Status::Ok();
+  }
+  Status GetString(std::string* s) {
+    uint32_t n = 0;
+    SSA_RETURN_IF_ERROR(GetU32(&n));
+    if (n > remaining()) return ShortRead("string body");
+    s->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+  Status GetDoubleVector(std::vector<double>* v) {
+    uint32_t n = 0;
+    SSA_RETURN_IF_ERROR(GetU32(&n));
+    if (static_cast<size_t>(n) * sizeof(double) > remaining()) {
+      return ShortRead("double vector body");
+    }
+    v->resize(n);
+    for (uint32_t i = 0; i < n; ++i) SSA_RETURN_IF_ERROR(GetDouble(&(*v)[i]));
+    return Status::Ok();
+  }
+
+ private:
+  Status GetBytes(void* p, size_t n) {
+    if (n > remaining()) return ShortRead("fixed-width field");
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+  static Status ShortRead(const char* what) {
+    return Status::InvalidArgument(std::string("short read: ") + what);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Whole-file helpers for the durability formats (Status-returning POSIX
+/// I/O; no exceptions, no silent bool failures).
+Status ReadFileToString(const std::string& path, std::string* out);
+/// Writes `data` to `path`.tmp, fsyncs, then renames over `path` — a
+/// checkpoint is either the complete new file or the complete old one,
+/// never a torn mix.
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+/// Truncates `path` to `size` bytes (recovery cutting a corrupt log tail).
+Status TruncateFile(const std::string& path, uint64_t size);
+bool FileExists(const std::string& path);
+
+}  // namespace ssa
+
+#endif  // SSA_DURABILITY_WIRE_H_

@@ -58,10 +58,31 @@ void AuctionServer::set_on_complete(CompletionFn fn) {
   on_complete_ = std::move(fn);
 }
 
-void AuctionServer::Start() {
+Status AuctionServer::Start() {
   SSA_CHECK(!started_);
+  const DurabilityConfig& durability = config_.durability;
+  if (!durability.log_path.empty()) {
+    if (durability.recover_on_start) {
+      RecoveryOptions options;
+      options.checkpoint_path = durability.checkpoint_path;
+      options.log_path = durability.log_path;
+      options.stream = QueryStream::kExternal;
+      // Replay-verification demands bitwise re-execution; batched
+      // settlement's batch boundaries are timing-dependent, so only the
+      // deterministic-replay mode can promise the log matches a re-run.
+      options.verify_outcomes = config_.mode == ServingMode::kDeterministicReplay;
+      SSA_RETURN_IF_ERROR(RecoverEngine(&engine_, options, &recovery_));
+    }
+    SSA_ASSIGN_OR_RETURN(
+        log_writer_,
+        SettlementLogWriter::Open(
+            durability.log_path, durability.writer,
+            static_cast<uint64_t>(engine_.auctions_run()) + 1,
+            durability.injector));
+  }
   started_ = true;
   executor_ = std::thread([this] { ExecutorLoop(); });
+  return Status::Ok();
 }
 
 void AuctionServer::Stop() {
@@ -73,6 +94,37 @@ void AuctionServer::Stop() {
     ring_closed_.store(true, std::memory_order_release);
   }
   executor_.join();
+  // The executor has settled (and staged) everything admitted; push the
+  // staged suffix to the OS so a clean shutdown loses nothing.
+  if (log_writer_ != nullptr) {
+    const Status status = log_writer_->Flush();
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(log_status_mu_);
+      if (log_status_.ok()) log_status_ = status;
+    }
+  }
+}
+
+Status AuctionServer::WriteCheckpoint() const {
+  if (config_.durability.checkpoint_path.empty()) {
+    return Status::FailedPrecondition("no checkpoint_path configured");
+  }
+  return engine_.WriteCheckpoint(config_.durability.checkpoint_path);
+}
+
+Status AuctionServer::log_status() const {
+  std::lock_guard<std::mutex> lock(log_status_mu_);
+  return log_status_;
+}
+
+void AuctionServer::LogSettlement(const AuctionOutcome& outcome) {
+  if (log_writer_ == nullptr) return;
+  const Status status = log_writer_->Append(SettlementRecord::FromOutcome(
+      static_cast<uint64_t>(engine_.auctions_run()), outcome));
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(log_status_mu_);
+    if (log_status_.ok()) log_status_ = status;
+  }
 }
 
 QueuePushResult AuctionServer::Submit(Query query) {
@@ -181,6 +233,7 @@ void AuctionServer::RunBatch(std::vector<ServingRequest>* batch) {
       auction_us_.Record(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3));
       timer.Reset();
       const AuctionOutcome& outcome = engine_.SettlePlanned(&plans_[0]);
+      LogSettlement(outcome);
       settlement_us_.Record(
           static_cast<uint64_t>(timer.ElapsedMillis() * 1e3));
       end_to_end_us_.Record(ElapsedUs(r.admitted_at, SteadyClock::now()));
@@ -201,6 +254,7 @@ void AuctionServer::RunBatch(std::vector<ServingRequest>* batch) {
   for (size_t i = 0; i < batch->size(); ++i) {
     timer.Reset();
     const AuctionOutcome& outcome = engine_.SettlePlanned(&plans_[i]);
+    LogSettlement(outcome);
     settlement_us_.Record(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3));
     end_to_end_us_.Record(
         ElapsedUs((*batch)[i].admitted_at, SteadyClock::now()));

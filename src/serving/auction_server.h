@@ -5,10 +5,14 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "auction/sharded_engine.h"
+#include "durability/recovery.h"
+#include "durability/settlement_log.h"
 #include "util/bounded_queue.h"
 #include "util/histogram.h"
 
@@ -51,6 +55,23 @@ struct ServingRequest {
   std::chrono::steady_clock::time_point admitted_at{};
 };
 
+/// Durability knobs for the serving path. All off by default — the server
+/// behaves exactly as before unless a log path is configured.
+struct DurabilityConfig {
+  /// Settlement-log sink: every settled auction is appended as a sequenced,
+  /// checksummed record. Empty = durability off.
+  std::string log_path;
+  LogWriterOptions writer;
+  /// Checkpoint file recovery rewinds to (and WriteCheckpoint() targets).
+  /// Empty or missing = recover by replaying the whole log.
+  std::string checkpoint_path;
+  /// Run restore-then-replay in Start() before the executor launches.
+  bool recover_on_start = true;
+  /// Test hook threaded into the log writer (crash/corruption injection).
+  /// Not owned; null in production.
+  FaultInjector* injector = nullptr;
+};
+
 /// Serving-layer knobs on top of the sharded engine configuration.
 struct ServerConfig {
   /// Engine knobs (winner determination, pricing, seed, shard count, pool).
@@ -70,6 +91,7 @@ struct ServerConfig {
   int max_batch_size = 16;
   std::chrono::microseconds batch_deadline{200};
   ServingMode mode = ServingMode::kDeterministicReplay;
+  DurabilityConfig durability;
 };
 
 /// Asynchronous serving front-end for the sharded auction engine: producers
@@ -101,12 +123,24 @@ class AuctionServer {
   /// Installs the per-auction completion hook. Must precede Start().
   void set_on_complete(CompletionFn fn);
 
-  /// Launches the executor thread. Must be called at most once.
-  void Start();
+  /// Launches the executor thread. Must be called at most once. With
+  /// durability configured, first runs restore-then-replay recovery
+  /// (checkpoint, then the settlement log's intact suffix; a torn tail is
+  /// truncated) and opens the log sink at the recovered sequence — a
+  /// recovery error leaves the server unstarted. Without durability, never
+  /// fails.
+  Status Start();
 
   /// Closes the ingestion queue, lets the executor drain every admitted
-  /// request, and joins it. Idempotent; also invoked by the destructor.
+  /// request, joins it, and then flushes the settlement log — every settled
+  /// auction is in the OS (and on disk under kGroupFsync/kFsyncEach) when
+  /// Stop() returns. Idempotent; also invoked by the destructor.
   void Stop();
+
+  /// Checkpoints the engine to `durability.checkpoint_path`. Call while the
+  /// executor is quiescent (before Start() or after Stop()): checkpoints
+  /// must snapshot a settlement boundary.
+  Status WriteCheckpoint() const;
 
   /// Admits one query per the backpressure policy. Thread-safe.
   QueuePushResult Submit(Query query);
@@ -142,6 +176,24 @@ class AuctionServer {
   const ShardedAuctionEngine& engine() const { return engine_; }
   const ServerConfig& config() const { return config_; }
 
+  // --- Durability telemetry -----------------------------------------------
+  /// What Start()'s recovery did (zeroes when durability is off or
+  /// recover_on_start was false).
+  const RecoveryReport& recovery() const { return recovery_; }
+  /// Auctions settled since the checkpoint recovery restored (== the replay
+  /// cost of a crash right now, in auctions).
+  int64_t checkpoint_age() const {
+    return engine_.auctions_run() -
+           static_cast<int64_t>(recovery_.checkpoint_seq);
+  }
+  /// First settlement-log append/flush error, if any (OK otherwise). The
+  /// executor keeps serving on log errors; callers decide whether a lame
+  /// log sink is fatal.
+  Status log_status() const;
+  /// The log sink, if configured (counters: records appended, commits,
+  /// syncs, bytes). Null when durability is off.
+  const SettlementLogWriter* log_writer() const { return log_writer_.get(); }
+
  private:
   void ExecutorLoop();
   /// Lock-free analogue of BoundedQueue::PopBatch: poll with backoff for
@@ -162,10 +214,19 @@ class AuctionServer {
   std::atomic<int64_t> ring_accepted_{0};
   std::atomic<int64_t> ring_rejected_{0};
 
+  /// Appends the settled outcome to the log sink (no-op when off); records
+  /// the first failure in log_status_. Executor thread only.
+  void LogSettlement(const AuctionOutcome& outcome);
+
   CompletionFn on_complete_;
   std::thread executor_;
   bool started_ = false;
   bool stopped_ = false;
+
+  std::unique_ptr<SettlementLogWriter> log_writer_;
+  RecoveryReport recovery_;
+  mutable std::mutex log_status_mu_;
+  Status log_status_;  // guarded by log_status_mu_
 
   LatencyHistogram queue_wait_us_;
   LatencyHistogram auction_us_;

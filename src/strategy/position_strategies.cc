@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "durability/wire.h"
+
 namespace ssa {
 
 PositionTargetStrategy::PositionTargetStrategy(SlotIndex target_slot,
@@ -39,6 +41,27 @@ void PositionTargetStrategy::OnOutcome(const Query& query,
   }
 }
 
+void PositionTargetStrategy::SaveState(std::string* out) const {
+  WireWriter w(out);
+  w.PutDouble(bid_);
+  w.PutI64(last_won_time_);
+}
+
+Status PositionTargetStrategy::RestoreState(std::string_view blob) {
+  WireReader r(blob);
+  Money bid = 0;
+  int64_t last_won_time = 0;
+  SSA_RETURN_IF_ERROR(r.GetDouble(&bid));
+  SSA_RETURN_IF_ERROR(r.GetI64(&last_won_time));
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument(
+        "trailing bytes in PositionTargetStrategy state");
+  }
+  bid_ = bid;
+  last_won_time_ = last_won_time;
+  return Status::Ok();
+}
+
 AboveCompetitorStrategy::AboveCompetitorStrategy(AdvertiserId self,
                                                  AdvertiserId rival,
                                                  Money max_bid, Money step)
@@ -70,6 +93,22 @@ void AboveCompetitorStrategy::ObservePage(const AuctionOutcome& outcome) {
   }
 }
 
+void AboveCompetitorStrategy::SaveState(std::string* out) const {
+  WireWriter(out).PutDouble(bid_);
+}
+
+Status AboveCompetitorStrategy::RestoreState(std::string_view blob) {
+  WireReader r(blob);
+  Money bid = 0;
+  SSA_RETURN_IF_ERROR(r.GetDouble(&bid));
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument(
+        "trailing bytes in AboveCompetitorStrategy state");
+  }
+  bid_ = bid;
+  return Status::Ok();
+}
+
 BudgetedStrategy::BudgetedStrategy(std::unique_ptr<BiddingStrategy> inner,
                                    Money budget)
     : inner_(std::move(inner)), budget_(budget) {
@@ -88,6 +127,14 @@ void BudgetedStrategy::OnOutcome(const Query& query,
                                  SlotIndex slot, bool clicked,
                                  bool purchased) {
   inner_->OnOutcome(query, account, slot, clicked, purchased);
+}
+
+void BudgetedStrategy::SaveState(std::string* out) const {
+  inner_->SaveState(out);
+}
+
+Status BudgetedStrategy::RestoreState(std::string_view blob) {
+  return inner_->RestoreState(blob);
 }
 
 }  // namespace ssa

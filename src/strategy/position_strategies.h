@@ -29,6 +29,8 @@ class PositionTargetStrategy : public BiddingStrategy {
                 BidsTable* bids) override;
   void OnOutcome(const Query& query, const AdvertiserAccount& account,
                  SlotIndex slot, bool clicked, bool purchased) override;
+  void SaveState(std::string* out) const override;
+  Status RestoreState(std::string_view blob) override;
 
   Money current_bid() const { return bid_; }
 
@@ -57,6 +59,9 @@ class AboveCompetitorStrategy : public BiddingStrategy {
   /// Public-page observation hook (call after each auction).
   void ObservePage(const AuctionOutcome& outcome);
 
+  void SaveState(std::string* out) const override;
+  Status RestoreState(std::string_view blob) override;
+
   Money current_bid() const { return bid_; }
 
  private:
@@ -78,6 +83,10 @@ class BudgetedStrategy : public BiddingStrategy {
                 BidsTable* bids) override;
   void OnOutcome(const Query& query, const AdvertiserAccount& account,
                  SlotIndex slot, bool clicked, bool purchased) override;
+  /// Budget tracking lives in the account; only the inner strategy's state
+  /// travels through checkpoints.
+  void SaveState(std::string* out) const override;
+  Status RestoreState(std::string_view blob) override;
 
   Money budget() const { return budget_; }
 

@@ -2,7 +2,63 @@
 
 #include <utility>
 
+#include "core/formula_parser.h"
+#include "durability/wire.h"
+
 namespace ssa {
+namespace {
+
+void EncodeTable(const Table& table, WireWriter* w) {
+  w->PutU32(static_cast<uint32_t>(table.num_rows()));
+  for (int row = 0; row < table.num_rows(); ++row) {
+    for (int col = 0; col < table.num_columns(); ++col) {
+      const Value& v = table.At(row, col);
+      w->PutU8(static_cast<uint8_t>(v.type()));
+      if (v.is_number()) {
+        w->PutDouble(v.number());
+      } else if (v.is_string()) {
+        w->PutString(v.str());
+      }
+    }
+  }
+}
+
+Status DecodeTable(WireReader* r, Table* table) {
+  uint32_t num_rows = 0;
+  SSA_RETURN_IF_ERROR(r->GetU32(&num_rows));
+  table->Clear();
+  for (uint32_t row = 0; row < num_rows; ++row) {
+    std::vector<Value> values;
+    values.reserve(table->num_columns());
+    for (int col = 0; col < table->num_columns(); ++col) {
+      uint8_t type = 0;
+      SSA_RETURN_IF_ERROR(r->GetU8(&type));
+      switch (static_cast<Value::Type>(type)) {
+        case Value::Type::kNull:
+          values.push_back(Value::Null());
+          break;
+        case Value::Type::kNumber: {
+          double number = 0;
+          SSA_RETURN_IF_ERROR(r->GetDouble(&number));
+          values.push_back(Value::Number(number));
+          break;
+        }
+        case Value::Type::kString: {
+          std::string s;
+          SSA_RETURN_IF_ERROR(r->GetString(&s));
+          values.push_back(Value::String(std::move(s)));
+          break;
+        }
+        default:
+          return Status::InvalidArgument("bad value tag in table state");
+      }
+    }
+    table->InsertRow(std::move(values));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<ProgramStrategy>> ProgramStrategy::Create(
     std::string_view source, std::vector<KeywordSpec> keywords) {
@@ -103,6 +159,39 @@ void ProgramStrategy::OnOutcome(const Query& query,
         lang::Interpreter::FireTriggers(program_, "Purchase", &db_, scalars);
     SSA_CHECK_MSG(status.ok(), status.ToString().c_str());
   }
+}
+
+void ProgramStrategy::SaveState(std::string* out) const {
+  WireWriter w(out);
+  EncodeTable(*keywords_table_, &w);
+  EncodeTable(*bids_table_, &w);
+}
+
+Status ProgramStrategy::RestoreState(std::string_view blob) {
+  WireReader r(blob);
+  SSA_RETURN_IF_ERROR(DecodeTable(&r, keywords_table_));
+  SSA_RETURN_IF_ERROR(DecodeTable(&r, bids_table_));
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes in ProgramStrategy state");
+  }
+  if (keywords_table_->num_rows() != static_cast<int>(keywords_.size())) {
+    return Status::InvalidArgument(
+        "ProgramStrategy state has wrong keyword count");
+  }
+  formula_rows_.clear();
+  row_formulas_.clear();
+  const int col_formula = bids_table_->ColumnIndex("formula");
+  for (int row = 0; row < bids_table_->num_rows(); ++row) {
+    const Value& cell = bids_table_->At(row, col_formula);
+    if (!cell.is_string()) {
+      return Status::InvalidArgument("Bids formula cell is not a string");
+    }
+    StatusOr<Formula> formula = ParseFormula(cell.str());
+    if (!formula.ok()) return formula.status();
+    formula_rows_[cell.str()] = row;
+    row_formulas_.push_back(*std::move(formula));
+  }
+  return Status::Ok();
 }
 
 Money ProgramStrategy::TentativeBid(int kw) const {

@@ -52,6 +52,14 @@ class ProgramStrategy : public BiddingStrategy {
   void OnOutcome(const Query& query, const AdvertiserAccount& account,
                  SlotIndex slot, bool clicked, bool purchased) override;
 
+  /// Checkpoint hooks: the full contents of the private Keywords and Bids
+  /// tables (programs may mutate any cell, and the `bid` column is
+  /// long-lived state). Restore rebuilds the formula-row index from the
+  /// serialized Bids rows, so programs that inserted new formula rows
+  /// round-trip too.
+  void SaveState(std::string* out) const override;
+  Status RestoreState(std::string_view blob) override;
+
   /// Current tentative bid column (for tests).
   Money TentativeBid(int kw) const;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "durability/wire.h"
+
 namespace ssa {
 
 RoiStrategy::RoiStrategy(std::vector<Formula> keyword_formulas)
@@ -67,6 +69,25 @@ void RoiStrategy::MakeBids(const Query& query,
     }
     if (!merged) bids->AddBid(keyword_formulas_[kw], bids_[kw]);
   }
+}
+
+void RoiStrategy::SaveState(std::string* out) const {
+  WireWriter(out).PutDoubleVector(bids_);
+}
+
+Status RoiStrategy::RestoreState(std::string_view blob) {
+  WireReader r(blob);
+  std::vector<Money> bids;
+  SSA_RETURN_IF_ERROR(r.GetDoubleVector(&bids));
+  if (bids.size() != bids_.size()) {
+    return Status::InvalidArgument(
+        "RoiStrategy state has wrong keyword count");
+  }
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes in RoiStrategy state");
+  }
+  bids_ = std::move(bids);
+  return Status::Ok();
 }
 
 }  // namespace ssa

@@ -39,6 +39,11 @@ class RoiStrategy : public BiddingStrategy {
   void MakeBids(const Query& query, const AdvertiserAccount& account,
                 BidsTable* bids) override;
 
+  /// Checkpoint hooks: the tentative-bid vector is the strategy's entire
+  /// mutable state.
+  void SaveState(std::string* out) const override;
+  Status RestoreState(std::string_view blob) override;
+
   /// Current tentative bid per keyword (exposed for the equivalence tests).
   const std::vector<Money>& tentative_bids() const { return bids_; }
 

@@ -1,9 +1,13 @@
 #ifndef SSA_STRATEGY_STRATEGY_H_
 #define SSA_STRATEGY_STRATEGY_H_
 
+#include <string>
+#include <string_view>
+
 #include "auction/account.h"
 #include "auction/query_gen.h"
 #include "core/bids_table.h"
+#include "util/status.h"
 
 namespace ssa {
 
@@ -37,6 +41,25 @@ class BiddingStrategy {
     (void)slot;
     (void)clicked;
     (void)purchased;
+  }
+
+  /// Appends the strategy's private mutable state (tentative bids, program
+  /// tables, outcome counters — anything MakeBids/OnOutcome mutate) to
+  /// `out`, for engine checkpoints. A strategy restored from this blob must
+  /// behave bitwise-identically to the original from then on. Default:
+  /// stateless — nothing to save.
+  virtual void SaveState(std::string* out) const { (void)out; }
+
+  /// Restores the state SaveState serialized. The default accepts only the
+  /// empty blob a stateless strategy saves; stateful strategies must
+  /// override both methods or checkpoints of engines running them fail
+  /// loudly here rather than silently diverging after restore.
+  virtual Status RestoreState(std::string_view blob) {
+    return blob.empty()
+               ? Status::Ok()
+               : Status::InvalidArgument(
+                     "non-empty checkpoint state for a strategy without "
+                     "RestoreState");
   }
 };
 

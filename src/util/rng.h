@@ -64,6 +64,17 @@ class Rng {
   /// Bernoulli draw with success probability p.
   bool Bernoulli(double p) { return NextDouble() < p; }
 
+  /// Copies the raw 256-bit generator state out (checkpointing): restoring
+  /// it with RestoreState resumes the exact stream, which is what makes a
+  /// restored engine's user-behavior draws bitwise-identical to the
+  /// uninterrupted run.
+  void SaveState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = s_[i];
+  }
+  void RestoreState(const uint64_t state[4]) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[i];
+  }
+
  private:
   static uint64_t SplitMix64(uint64_t* state) {
     uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);

@@ -17,6 +17,8 @@ const char* CodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

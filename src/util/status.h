@@ -16,6 +16,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  /// Unrecoverable loss or corruption of persisted state (a settlement-log
+  /// gap, a replay that diverges from its logged record).
+  kDataLoss,
 };
 
 /// Lightweight error-or-success result, in the style of absl::Status.
@@ -43,6 +46,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -98,5 +104,28 @@ class StatusOr {
 };
 
 }  // namespace ssa
+
+/// Early-returns the enclosing function with `expr`'s Status when it is not
+/// OK. `expr` is evaluated exactly once. The durability subsystem's I/O is
+/// written entirely in this style — no bool/exception mixes.
+#define SSA_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::ssa::Status _ssa_status_ = (expr);          \
+    if (!_ssa_status_.ok()) return _ssa_status_;  \
+  } while (0)
+
+/// Evaluates `expr` (a StatusOr<T>), early-returning its Status on error,
+/// otherwise moving the value into `lhs` (which may be a declaration).
+#define SSA_ASSIGN_OR_RETURN(lhs, expr) \
+  SSA_ASSIGN_OR_RETURN_IMPL_(           \
+      SSA_STATUS_CONCAT_(_ssa_statusor_, __LINE__), lhs, expr)
+
+#define SSA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = *std::move(tmp)
+
+#define SSA_STATUS_CONCAT_(a, b) SSA_STATUS_CONCAT_IMPL_(a, b)
+#define SSA_STATUS_CONCAT_IMPL_(a, b) a##b
 
 #endif  // SSA_UTIL_STATUS_H_
