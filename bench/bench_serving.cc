@@ -55,7 +55,8 @@ struct ServeSetup {
 };
 
 ServeSetup MakeServer(int n, int shards, int batch, ServingMode mode,
-                      BackpressurePolicy policy, uint64_t seed) {
+                      BackpressurePolicy policy, uint64_t seed,
+                      int lanes = 0) {
   ServeSetup setup;
   if (shards > 1) setup.pool = std::make_unique<ThreadPool>(shards);
   ServerConfig config;
@@ -67,6 +68,7 @@ ServeSetup MakeServer(int n, int shards, int batch, ServingMode mode,
   config.max_batch_size = batch;
   config.batch_deadline = microseconds(200);
   config.mode = mode;
+  config.num_plan_lanes = lanes;
   Workload workload = PaperWorkload(n, seed);
   auto strategies = RoiStrategies(workload);
   setup.server = std::make_unique<AuctionServer>(config, std::move(workload),
@@ -95,9 +97,9 @@ void FillPercentiles(const AuctionServer& server, LoadResult* r) {
 
 LoadResult RunClosedLoop(int n, int shards, int batch, ServingMode mode,
                          int producers, int warmup, int auctions,
-                         uint64_t seed) {
+                         uint64_t seed, int lanes = 0) {
   ServeSetup setup = MakeServer(n, shards, batch, mode,
-                                BackpressurePolicy::kBlock, seed);
+                                BackpressurePolicy::kBlock, seed, lanes);
   AuctionServer& server = *setup.server;
   QueryGenerator warmup_gen(10, seed + 2);
   SubmitAndDrain(&server, &warmup_gen, warmup);
@@ -129,10 +131,11 @@ LoadResult RunClosedLoop(int n, int shards, int batch, ServingMode mode,
 }
 
 LoadResult RunOpenLoop(int n, int shards, int batch, double rate_qps,
-                       int warmup, int auctions, uint64_t seed) {
+                       int warmup, int auctions, uint64_t seed,
+                       int lanes = 0) {
   ServeSetup setup =
       MakeServer(n, shards, batch, ServingMode::kBatchedSettlement,
-                 BackpressurePolicy::kReject, seed);
+                 BackpressurePolicy::kReject, seed, lanes);
   AuctionServer& server = *setup.server;
   QueryGenerator warmup_gen(10, seed + 2);
   SubmitAndDrain(&server, &warmup_gen, warmup);
@@ -232,32 +235,81 @@ int Main() {
     reference_qps = std::max(reference_qps, r.qps);
   }
 
+  // --- Planning-lane sweep: replicate the pure planning half across E lane
+  // workers (batched settlement, fixed shards/batch). E=0 is the in-thread
+  // executor baseline. On a single-core host this measures the pipeline's
+  // coordination overhead, not its speedup — the lane scaling is designed
+  // for multi-core hosts; values are E-invariant either way.
+  std::printf("\n## Planning-lane sweep (closed loop, batched settlement)\n");
+  std::printf("%-10s %6s %6s %6s %9s %8s %8s %8s %8s %8s %8s\n", "mode",
+              "lanes", "shards", "batch", "qps", "qw_p50", "qw_p95",
+              "qw_p99", "e2e_p50", "e2e_p95", "e2e_p99");
+  const int lane_shards = 1;  // isolate lanes from shard-pool effects
+  const int lane_batch = quick ? 8 : 16;
+  const std::vector<int> lane_sweep =
+      quick ? std::vector<int>{0, 2} : std::vector<int>{0, 1, 2, 4, 8};
+  int best_lanes = 0;
+  double best_lane_qps = 0;
+  for (int lanes : lane_sweep) {
+    const LoadResult r = RunClosedLoop(
+        n, lane_shards, lane_batch, ServingMode::kBatchedSettlement,
+        producers, warmup, auctions, seed, lanes);
+    std::printf("%-10s %6d %6d %6d %9.1f %8lld %8lld %8lld %8lld %8lld "
+                "%8lld\n",
+                "batched", lanes, lane_shards, lane_batch, r.qps,
+                static_cast<long long>(r.queue_p50),
+                static_cast<long long>(r.queue_p95),
+                static_cast<long long>(r.queue_p99),
+                static_cast<long long>(r.e2e_p50),
+                static_cast<long long>(r.e2e_p95),
+                static_cast<long long>(r.e2e_p99));
+    if (r.qps > best_lane_qps) {
+      best_lane_qps = r.qps;
+      best_lanes = lanes;
+    }
+  }
+
   // --- Open loop: Poisson arrivals around the measured ceiling.
   std::printf("\n## Open loop (Poisson arrivals, kReject, batched "
               "settlement; rates relative to the %.1f qps ceiling)\n",
               reference_qps);
-  std::printf("%-10s %6s %6s %9s %9s %7s %8s %8s %8s %8s\n", "load",
-              "shards", "batch", "offered", "qps", "shed%", "qw_p50",
-              "qw_p95", "qw_p99", "e2e_p99");
+  std::printf("%-10s %6s %6s %6s %9s %9s %7s %8s %8s %8s %8s\n", "load",
+              "lanes", "shards", "batch", "offered", "qps", "shed%",
+              "qw_p50", "qw_p95", "qw_p99", "e2e_p99");
   const int shards = quick ? 1 : 4;
   const int batch = quick ? 8 : 16;
   const std::vector<double> load_factors =
       quick ? std::vector<double>{0.5} : std::vector<double>{0.5, 0.8, 1.2};
-  for (double factor : load_factors) {
-    const double rate = std::max(1.0, factor * reference_qps);
-    const LoadResult r =
-        RunOpenLoop(n, shards, batch, rate, warmup, auctions, seed);
+  auto print_open = [&](const char* label, int lanes, int row_shards,
+                        const LoadResult& r) {
     const double shed =
         100.0 * static_cast<double>(r.rejected) /
         static_cast<double>(r.completed + r.rejected);
-    char label[32];
-    std::snprintf(label, sizeof(label), "%.1fx", factor);
-    std::printf("%-10s %6d %6d %9.1f %9.1f %7.2f %8lld %8lld %8lld %8lld\n",
-                label, shards, batch, r.offered_qps, r.qps, shed,
+    std::printf("%-10s %6d %6d %6d %9.1f %9.1f %7.2f %8lld %8lld %8lld "
+                "%8lld\n",
+                label, lanes, row_shards, batch, r.offered_qps, r.qps, shed,
                 static_cast<long long>(r.queue_p50),
                 static_cast<long long>(r.queue_p95),
                 static_cast<long long>(r.queue_p99),
                 static_cast<long long>(r.e2e_p99));
+  };
+  for (double factor : load_factors) {
+    const double rate = std::max(1.0, factor * reference_qps);
+    const LoadResult r =
+        RunOpenLoop(n, shards, batch, rate, warmup, auctions, seed);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1fx", factor);
+    print_open(label, 0, shards, r);
+  }
+  // The best lane count from the sweep under the same near-saturation load:
+  // does pipelined planning move the open-loop tail?
+  {
+    const double rate = std::max(1.0, 0.8 * reference_qps);
+    const LoadResult r = RunOpenLoop(n, lane_shards, lane_batch, rate,
+                                     warmup, auctions, seed, best_lanes);
+    char label[32];
+    std::snprintf(label, sizeof(label), "0.8xE%d", best_lanes);
+    print_open(label, best_lanes, lane_shards, r);
   }
   return 0;
 }

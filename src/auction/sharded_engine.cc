@@ -11,6 +11,18 @@
 
 namespace ssa {
 
+int64_t ShardedAuctionEngine::PlanLane::cache_hits() const {
+  int64_t total = 0;
+  for (const ShardScratch& s : shards) total += s.cache.hits();
+  return total;
+}
+
+int64_t ShardedAuctionEngine::PlanLane::cache_misses() const {
+  int64_t total = 0;
+  for (const ShardScratch& s : shards) total += s.cache.misses();
+  return total;
+}
+
 ShardedAuctionEngine::ShardedAuctionEngine(
     const ShardedEngineConfig& config, Workload workload,
     std::vector<std::unique_ptr<BiddingStrategy>> strategies)
@@ -23,77 +35,113 @@ ShardedAuctionEngine::ShardedAuctionEngine(
   const int n = static_cast<int>(strategies_.size());
   SSA_CHECK(config_.num_shards >= 1);
   const int num_shards = std::min(config_.num_shards, std::max(1, n));
-  shards_.resize(num_shards);
+  ranges_.resize(num_shards);
   for (int s = 0; s < num_shards; ++s) {
-    Shard& shard = shards_[s];
     // Same balanced contiguous partition as the Section III-E tree leaves.
-    shard.begin = static_cast<AdvertiserId>(
-        static_cast<int64_t>(n) * s / num_shards);
-    shard.end = static_cast<AdvertiserId>(
-        static_cast<int64_t>(n) * (s + 1) / num_shards);
-    shard.bids.resize(shard.end - shard.begin);
+    ranges_[s].begin =
+        static_cast<AdvertiserId>(static_cast<int64_t>(n) * s / num_shards);
+    ranges_[s].end =
+        static_cast<AdvertiserId>(static_cast<int64_t>(n) * (s + 1) /
+                                  num_shards);
+  }
+  internal_lane_ = NewPlanLane();
+  // The internal lane is the engine's only lane on the RunAuctionOn path, so
+  // intra-query shard parallelism is the right use of the pool there.
+  internal_lane_->pool = config_.pool;
+}
+
+std::unique_ptr<ShardedAuctionEngine::PlanLane>
+ShardedAuctionEngine::NewPlanLane() const {
+  auto lane = std::make_unique<PlanLane>();
+  lane->shards.resize(ranges_.size());
+  lane->pool = nullptr;
+  return lane;
+}
+
+void ShardedAuctionEngine::CaptureBids(const Query& query,
+                                       CapturedBids* bids) {
+  const int n = static_cast<int>(strategies_.size());
+  bids->resize(n);
+  auto capture_range = [&](const ShardRange& range) {
+    for (AdvertiserId i = range.begin; i < range.end; ++i) {
+      BidsTable& table = (*bids)[i];
+      table.Clear();
+      strategies_[i]->MakeBids(query, workload_.accounts[i], &table);
+    }
+  };
+  const int num_shards = static_cast<int>(ranges_.size());
+  if (config_.pool != nullptr && num_shards > 1) {
+    // Strategies of different advertisers share no state (Section II-B), so
+    // the capture fans out across shards; only captures of *distinct
+    // queries* must serialize.
+    config_.pool->ParallelFor(num_shards,
+                              [&](int s) { capture_range(ranges_[s]); });
+  } else {
+    for (int s = 0; s < num_shards; ++s) capture_range(ranges_[s]);
   }
 }
 
-void ShardedAuctionEngine::RunShardPhase(Shard* shard, const Query& query,
+void ShardedAuctionEngine::RunShardPhase(const ShardRange& range,
+                                         PlanLane::ShardScratch* scratch,
+                                         const CapturedBids& bids,
                                          RevenueMatrix* revenue,
-                                         bool collect_topk) {
+                                         bool collect_topk) const {
   const int k = workload_.config.num_slots;
   const ClickModel& model = *workload_.click_model;
-  for (AdvertiserId i = shard->begin; i < shard->end; ++i) {
-    BidsTable& bids = shard->bids[i - shard->begin];
-    bids.Clear();
-    strategies_[i]->MakeBids(query, workload_.accounts[i], &bids);
-    const CompiledBids& compiled = shard->cache.Get(i - shard->begin, bids, k);
+  for (AdvertiserId i = range.begin; i < range.end; ++i) {
+    const CompiledBids& compiled =
+        scratch->cache.Get(i - range.begin, bids[i], k);
     FillRevenueRow(compiled, model, revenue, i);
   }
   if (!collect_topk) return;
   // Local per-slot top-k over the shard's rows — the leaf step of the
   // Section III-E aggregation, with global advertiser ids so the merge is a
   // plain re-offer.
-  shard->topk.Reset(k, std::max(k, 1));
+  scratch->topk.Reset(k, std::max(k, 1));
   const double* base = revenue->UnassignedData();
-  for (AdvertiserId i = shard->begin; i < shard->end; ++i) {
+  for (AdvertiserId i = range.begin; i < range.end; ++i) {
     const double* row = revenue->Row(i);
     for (SlotIndex j = 0; j < k; ++j) {
       const double w = row[j] - base[i];
       if (w <= 0.0) continue;  // never beats leaving the slot empty
-      shard->topk.Offer(j, w, i);
+      scratch->topk.Offer(j, w, i);
     }
   }
 }
 
 std::vector<AdvertiserId> ShardedAuctionEngine::MergeShardCandidates(
-    int num_advertisers, int num_slots) {
+    PlanLane* lane, int num_advertisers, int num_slots) const {
   // At K >= kTreeMergeMinShards, route the per-shard partials through the
   // Section III-E binary merge tree instead of one flat re-offer: each
   // shard's heaps become sorted per-slot top-k lists (the tree's leaf
-  // aggregates), merged pairwise in ceil(log2 K) levels on the shard pool.
+  // aggregates), merged pairwise in ceil(log2 K) levels on the lane's pool.
   // Top-k-of-union is associative under the strict (weight, id) order, so
   // the retained set — and the sorted candidate vector — is bitwise
   // identical to the flat path (sharded_engine_test pins K in {8, 12}).
-  if (static_cast<int>(shards_.size()) >= kTreeMergeMinShards) {
-    std::vector<SlotTopK> partials(shards_.size());
-    for (size_t s = 0; s < shards_.size(); ++s) {
+  const size_t num_shards = lane->shards.size();
+  if (static_cast<int>(num_shards) >= kTreeMergeMinShards) {
+    std::vector<SlotTopK> partials(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
       partials[s].per_slot.resize(num_slots);
       for (SlotIndex j = 0; j < num_slots; ++j) {
-        shards_[s].topk.ExtractDescending(j, &partials[s].per_slot[j]);
+        lane->shards[s].topk.ExtractDescending(j, &partials[s].per_slot[j]);
       }
     }
     return TreeMergeToCandidates(std::move(partials), num_slots,
-                                 num_advertisers, config_.pool);
+                                 num_advertisers, lane->pool);
   }
 
   // Re-offer every shard's retained entries into one global heap set. The
   // (weight, id) order is strict and insertion-order independent, and every
   // globally top-k entry is top-k within its own shard, so the merged heaps
   // hold exactly the entries SelectTopPerSlotCandidates(revenue, k) keeps.
-  merged_topk_.Reset(num_slots, std::max(num_slots, 1));
-  for (const Shard& shard : shards_) {
+  TopKHeapSet& merged = lane->merged_topk;
+  merged.Reset(num_slots, std::max(num_slots, 1));
+  for (const PlanLane::ShardScratch& shard : lane->shards) {
     for (SlotIndex j = 0; j < num_slots; ++j) {
       const TopKHeapSet::Entry* entries = shard.topk.entries(j);
       for (int e = 0; e < shard.topk.size(j); ++e) {
-        merged_topk_.Offer(j, entries[e].weight, entries[e].id);
+        merged.Offer(j, entries[e].weight, entries[e].id);
       }
     }
   }
@@ -104,8 +152,8 @@ std::vector<AdvertiserId> ShardedAuctionEngine::MergeShardCandidates(
   std::vector<AdvertiserId> candidates;
   candidates.reserve(static_cast<size_t>(num_slots) * num_slots);
   for (SlotIndex j = 0; j < num_slots; ++j) {
-    const TopKHeapSet::Entry* entries = merged_topk_.entries(j);
-    for (int e = 0; e < merged_topk_.size(j); ++e) {
+    const TopKHeapSet::Entry* entries = merged.entries(j);
+    for (int e = 0; e < merged.size(j); ++e) {
       const AdvertiserId i = entries[e].id;
       if (!seen[i]) {
         seen[i] = 1;
@@ -126,29 +174,34 @@ const AuctionOutcome& ShardedAuctionEngine::RunAuctionOn(const Query& query) {
   return SettlePlanned(&plan_scratch_);
 }
 
-void ShardedAuctionEngine::PlanAuction(const Query& query,
-                                       PlannedAuction* plan) {
+void ShardedAuctionEngine::PlanCaptured(const Query& query,
+                                        const CapturedBids& bids,
+                                        PlanLane* lane,
+                                        PlannedAuction* plan) const {
   const int n = static_cast<int>(strategies_.size());
   const int k = workload_.config.num_slots;
   const ClickModel& model = *workload_.click_model;
+  SSA_CHECK(static_cast<int>(bids.size()) == n);
+  SSA_CHECK(lane->shards.size() == ranges_.size());
   plan->outcome = AuctionOutcome{};
   plan->outcome.query = query;
 
-  // --- Shard phase: Step 3 + the Theorem 2 matrix, fused and share-nothing.
-  // Shards touch disjoint strategies, bid tables, caches, and matrix rows,
-  // so the pool schedule cannot change any value.
+  // --- Shard phase: compile + the Theorem 2 matrix, fused, share-nothing.
+  // Shards touch disjoint caches, heaps, and matrix rows, so the pool
+  // schedule cannot change any value.
   WallTimer timer;
-  RevenueMatrix revenue(n, k);
+  RevenueMatrix& revenue = lane->revenue;
+  revenue.Reset(n, k);
   const bool reduced =
       config_.engine.wd_method == WdMethod::kReducedHungarian;
-  const int num_shards = static_cast<int>(shards_.size());
-  if (config_.pool != nullptr && num_shards > 1) {
-    config_.pool->ParallelFor(num_shards, [&](int s) {
-      RunShardPhase(&shards_[s], query, &revenue, reduced);
+  const int num_shards = static_cast<int>(ranges_.size());
+  if (lane->pool != nullptr && num_shards > 1) {
+    lane->pool->ParallelFor(num_shards, [&](int s) {
+      RunShardPhase(ranges_[s], &lane->shards[s], bids, &revenue, reduced);
     });
   } else {
     for (int s = 0; s < num_shards; ++s) {
-      RunShardPhase(&shards_[s], query, &revenue, reduced);
+      RunShardPhase(ranges_[s], &lane->shards[s], bids, &revenue, reduced);
     }
   }
   plan->outcome.program_eval_ms = timer.ElapsedMillis();
@@ -157,7 +210,8 @@ void ShardedAuctionEngine::PlanAuction(const Query& query,
   // merged shard candidates; the dense methods see the full matrix.
   timer.Reset();
   if (reduced) {
-    plan->outcome.wd = SolveOnCandidates(revenue, MergeShardCandidates(n, k));
+    plan->outcome.wd = SolveOnCandidates(revenue,
+                                         MergeShardCandidates(lane, n, k));
   } else {
     plan->outcome.wd = DetermineWinners(revenue, config_.engine.wd_method);
   }
@@ -168,6 +222,18 @@ void ShardedAuctionEngine::PlanAuction(const Query& query,
   plan->prices = ComputePrices(config_.engine.pricing, revenue, model,
                                plan->outcome.wd.allocation);
   plan->outcome.pricing_ms = timer.ElapsedMillis();
+}
+
+void ShardedAuctionEngine::PlanAuction(const Query& query,
+                                       PlannedAuction* plan) {
+  // Capture (Step 3, order-dependent) then plan on the internal lane. The
+  // reported program_eval_ms spans both halves, matching the fused phase the
+  // pre-lane engine timed.
+  WallTimer timer;
+  CaptureBids(query, &capture_scratch_);
+  const double capture_ms = timer.ElapsedMillis();
+  PlanCaptured(query, capture_scratch_, internal_lane_.get(), plan);
+  plan->outcome.program_eval_ms += capture_ms;
 }
 
 const AuctionOutcome& ShardedAuctionEngine::SettlePlanned(
@@ -187,25 +253,24 @@ const AuctionOutcome& ShardedAuctionEngine::SettlePlanned(
 ShardedAuctionEngine::ShardStats ShardedAuctionEngine::shard_stats(
     int shard) const {
   SSA_CHECK(shard >= 0 && shard < num_shards());
-  const Shard& s = shards_[shard];
-  return ShardStats{s.begin, s.end, s.cache.hits(), s.cache.misses()};
+  const ShardRange& range = ranges_[shard];
+  const CompiledBidsCache& cache = internal_lane_->shards[shard].cache;
+  return ShardStats{range.begin, range.end, cache.hits(), cache.misses()};
 }
 
 int64_t ShardedAuctionEngine::cache_hits() const {
-  int64_t total = 0;
-  for (const Shard& s : shards_) total += s.cache.hits();
-  return total;
+  return internal_lane_->cache_hits();
 }
 
 int64_t ShardedAuctionEngine::cache_misses() const {
-  int64_t total = 0;
-  for (const Shard& s : shards_) total += s.cache.misses();
-  return total;
+  return internal_lane_->cache_misses();
 }
 
 int64_t ShardedAuctionEngine::verified_recompiles() const {
   int64_t total = 0;
-  for (const Shard& s : shards_) total += s.cache.verified_recompiles();
+  for (const PlanLane::ShardScratch& s : internal_lane_->shards) {
+    total += s.cache.verified_recompiles();
+  }
   return total;
 }
 
@@ -224,13 +289,14 @@ void ShardedAuctionEngine::CaptureCheckpoint(EngineCheckpoint* ckpt) const {
     strategies_[i]->SaveState(&ckpt->strategy_state[i]);
   }
   // Shard caches key on local index i - begin; the checkpoint stores keys by
-  // global advertiser id so it is portable across shard layouts.
+  // global advertiser id so it is portable across shard layouts. Only the
+  // internal lane's caches persist — external PlanLanes are scratch.
   ckpt->cache_keys.resize(strategies_.size());
-  for (const Shard& shard : shards_) {
+  for (size_t s = 0; s < ranges_.size(); ++s) {
     const std::vector<CompiledBidsCache::KeySnapshot> local =
-        shard.cache.ExportKeys();
+        internal_lane_->shards[s].cache.ExportKeys();
     for (size_t j = 0; j < local.size(); ++j) {
-      ckpt->cache_keys[shard.begin + j] = local[j];
+      ckpt->cache_keys[ranges_[s].begin + j] = local[j];
     }
   }
 }
@@ -254,14 +320,15 @@ Status ShardedAuctionEngine::RestoreCheckpoint(const EngineCheckpoint& ckpt) {
   query_gen_.RestoreState(ckpt.query_gen);
   auctions_run_ = static_cast<int64_t>(ckpt.seq);
   total_revenue_ = ckpt.total_revenue;
-  for (Shard& shard : shards_) {
-    std::vector<CompiledBidsCache::KeySnapshot> local(shard.end - shard.begin);
+  for (size_t s = 0; s < ranges_.size(); ++s) {
+    const ShardRange& range = ranges_[s];
+    std::vector<CompiledBidsCache::KeySnapshot> local(range.end - range.begin);
     for (size_t j = 0; j < local.size(); ++j) {
-      if (shard.begin + j < ckpt.cache_keys.size()) {
-        local[j] = ckpt.cache_keys[shard.begin + j];
+      if (range.begin + j < ckpt.cache_keys.size()) {
+        local[j] = ckpt.cache_keys[range.begin + j];
       }
     }
-    shard.cache.PrimeExpectedKeys(local);
+    internal_lane_->shards[s].cache.PrimeExpectedKeys(local);
   }
   outcome_ = AuctionOutcome{};
   return Status::Ok();

@@ -2,6 +2,7 @@
 #define SSA_AUCTION_SHARDED_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "auction/auction_engine.h"
@@ -9,6 +10,7 @@
 #include "auction/query_gen.h"
 #include "auction/workload.h"
 #include "core/compiled_bids.h"
+#include "core/expected_revenue.h"
 #include "core/winner_determination.h"
 #include "strategy/strategy.h"
 #include "util/common.h"
@@ -50,6 +52,18 @@ struct ShardedEngineConfig {
 /// by sharded_engine_test. Strategies of different advertisers never share
 /// mutable state (Section II-B), which is what makes the shard phase
 /// embarrassingly parallel.
+///
+/// Planning lanes: one auction's plan splits into a *sequential* half that
+/// runs the bidding programs (CaptureBids — strategies may mutate private
+/// state, so captures must happen strictly in arrival order) and a *pure*
+/// half (PlanCaptured — compile, revenue matrix, candidate merge, winner
+/// determination, pricing) that is const on the engine and reads only the
+/// captured bids plus per-lane scratch. Distinct PlanLanes may therefore
+/// plan different queries concurrently; the serving executor exploits this
+/// with an E-lane pool. Per-lane compiled-bids caches see different hit
+/// patterns under different schedules, but compilation is a pure function
+/// of (table, num_slots), so plans are bitwise-identical for any lane
+/// count, assignment, or cache history (serving_test pins this).
 class ShardedAuctionEngine {
  public:
   ShardedAuctionEngine(const ShardedEngineConfig& config, Workload workload,
@@ -74,12 +88,72 @@ class ShardedAuctionEngine {
     std::vector<Money> prices;   // per-slot charges for the allocation
   };
 
+  /// One auction's bid emission, snapshotted: entry i is advertiser i's
+  /// BidsTable for the query, exactly as MakeBids produced it. Owning the
+  /// tables (rather than pointing into engine scratch) is what lets a later
+  /// query's capture proceed while an earlier query's plan is still being
+  /// computed on a lane.
+  using CapturedBids = std::vector<BidsTable>;
+
+  /// Per-lane planning scratch: per-shard compiled-bids caches and top-k
+  /// heaps, the coordinator merge heap, and an arena-reused revenue matrix.
+  /// Opaque to callers — create with NewPlanLane(), hand to PlanCaptured.
+  /// A lane must not be used by two threads at once; distinct lanes are
+  /// fully independent.
+  class PlanLane {
+   public:
+    /// Compiled-bids cache totals across this lane's shards (per-lane
+    /// telemetry; lane caches are scratch and never checkpointed).
+    int64_t cache_hits() const;
+    int64_t cache_misses() const;
+
+   private:
+    friend class ShardedAuctionEngine;
+    struct ShardScratch {
+      CompiledBidsCache cache;  // keyed on local index i - range.begin
+      TopKHeapSet topk;         // local per-slot top-k, reused
+    };
+    std::vector<ShardScratch> shards;
+    TopKHeapSet merged_topk;     // coordinator scratch, reused
+    RevenueMatrix revenue{0, 0};  // arena-reused across auctions
+    /// Pool the shard phase of *this lane* fans out on. The engine's own
+    /// internal lane uses config.pool; lanes created by NewPlanLane() run
+    /// their shard phase sequentially (nullptr) — cross-query lane
+    /// parallelism replaces intra-query shard parallelism.
+    ThreadPool* pool = nullptr;
+  };
+
+  /// Creates an independent planning lane (shard phase runs sequentially
+  /// within the lane). Lanes may outlive nothing: the engine must outlive
+  /// every lane created from it.
+  std::unique_ptr<PlanLane> NewPlanLane() const;
+
+  /// The sequential half of planning: runs every advertiser's bidding
+  /// program for `query` against the *current* account state and snapshots
+  /// the emitted tables into `*bids` (resized to the population). Shards'
+  /// captures fan out on the configured pool (strategies of different
+  /// advertisers share no state); distinct queries must be captured by one
+  /// thread, strictly in arrival order, with no settlement in flight —
+  /// MakeBids may mutate strategy-private state, which is exactly the
+  /// per-query sequential dependency that cannot parallelize.
+  void CaptureBids(const Query& query, CapturedBids* bids);
+
+  /// The pure half of planning: compiles `bids` (via the lane's caches),
+  /// fills the lane's revenue matrix, merges per-shard candidates, solves
+  /// winner determination, and computes prices into `*plan`. Const on the
+  /// engine and side-effect-free outside `lane`/`plan`: concurrent calls on
+  /// distinct lanes are safe, and the result is a pure function of
+  /// (query, bids, engine config) — bitwise-identical for any lane.
+  void PlanCaptured(const Query& query, const CapturedBids& bids,
+                    PlanLane* lane, PlannedAuction* plan) const;
+
   /// Phases 3/4/6-prep on `query` against the *current* account state:
-  /// shard-parallel program evaluation + matrix + candidate merge, winner
-  /// determination, pricing. Mutates only engine scratch (bid tables,
-  /// compiled-bids caches, heaps) — accounts, strategies' outcome state and
-  /// the user RNG are untouched, so planning is side-effect-free w.r.t. the
-  /// auction trajectory until the plan is settled.
+  /// CaptureBids + PlanCaptured on the engine's internal lane (whose shard
+  /// phase fans out on the configured pool). Mutates only engine scratch
+  /// (captured tables, compiled-bids caches, heaps) — accounts, strategies'
+  /// outcome state and the user RNG are untouched, so planning is
+  /// side-effect-free w.r.t. the auction trajectory until the plan is
+  /// settled.
   void PlanAuction(const Query& query, PlannedAuction* plan);
 
   /// Step 5/6 for a planned auction: simulates user actions (advancing the
@@ -98,10 +172,12 @@ class ShardedAuctionEngine {
   const AuctionOutcome& last_outcome() const { return outcome_; }
   int64_t auctions_run() const { return auctions_run_; }
   Money total_revenue() const { return total_revenue_; }
-  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_shards() const { return static_cast<int>(ranges_.size()); }
 
   /// Per-shard observability: advertiser range and compiled-bids cache
-  /// performance (each shard compiles only its own population).
+  /// performance on the engine's internal lane (each shard compiles only
+  /// its own population; external PlanLanes carry their own caches and
+  /// report through PlanLane::cache_hits()).
   struct ShardStats {
     AdvertiserId begin = 0;
     AdvertiserId end = 0;
@@ -109,7 +185,7 @@ class ShardedAuctionEngine {
     int64_t cache_misses = 0;
   };
   ShardStats shard_stats(int shard) const;
-  /// Cache hits/misses summed over all shards (comparable to
+  /// Internal-lane cache hits/misses summed over all shards (comparable to
   /// AuctionEngine::bid_cache() totals).
   int64_t cache_hits() const;
   int64_t cache_misses() const;
@@ -120,39 +196,41 @@ class ShardedAuctionEngine {
   /// Durability hooks — same contract and file format as AuctionEngine's:
   /// the checkpoint is shard-layout-independent (cache keys are stored by
   /// global advertiser id), so a K-shard engine restores a checkpoint taken
-  /// by a single engine or any other shard count, and vice versa.
+  /// by a single engine or any other shard count, and vice versa. External
+  /// PlanLane caches are scratch: never checkpointed, rebuilt on demand.
   void CaptureCheckpoint(EngineCheckpoint* ckpt) const;
   Status RestoreCheckpoint(const EngineCheckpoint& ckpt);
   Status WriteCheckpoint(const std::string& path) const;
   Status RestoreFromCheckpoint(const std::string& path);
 
  private:
-  struct Shard {
-    AdvertiserId begin = 0;  // advertisers [begin, end)
+  /// Advertisers [begin, end) owned by one shard — fixed at construction,
+  /// shared read-only by every lane.
+  struct ShardRange {
+    AdvertiserId begin = 0;
     AdvertiserId end = 0;
-    std::vector<BidsTable> bids;  // local tables, reused across auctions
-    CompiledBidsCache cache;      // keyed on local index i - begin
-    TopKHeapSet topk;             // local per-slot top-k, reused
   };
 
-  /// The share-nothing per-shard unit of one auction: bidding programs,
-  /// compiled-bids lookups, revenue-matrix rows, and (for the reduced
-  /// method) the local per-slot top-k. Writes only shard-owned state and
-  /// the shard's disjoint matrix rows.
-  void RunShardPhase(Shard* shard, const Query& query, RevenueMatrix* revenue,
-                     bool collect_topk);
+  /// The share-nothing per-shard unit of the pure planning half: compiled-
+  /// bids lookups, revenue-matrix rows, and (for the reduced method) the
+  /// local per-slot top-k. Reads the captured tables; writes only the
+  /// lane's shard scratch and the shard's disjoint matrix rows.
+  void RunShardPhase(const ShardRange& range, PlanLane::ShardScratch* scratch,
+                     const CapturedBids& bids, RevenueMatrix* revenue,
+                     bool collect_topk) const;
 
-  /// Merges the shards' local top-k heaps into the global per-slot top-k
+  /// Merges the lane's per-shard top-k heaps into the global per-slot top-k
   /// and extracts the candidate union — identical to the single-engine
   /// SelectTopPerSlotCandidates(revenue, k) output. With fewer than
   /// kTreeMergeMinShards shards the coordinator re-offers every retained
   /// entry into one flat heap set (O(K k^2 log k)); at K >=
   /// kTreeMergeMinShards it routes the partials through the Section III-E
   /// binary merge tree (parallel_topk, ceil(log2 K) levels of O(k) list
-  /// merges on the shard pool) — same strict (weight, id) order, so the
+  /// merges on the lane's pool) — same strict (weight, id) order, so the
   /// candidate vector is bitwise identical either way.
-  std::vector<AdvertiserId> MergeShardCandidates(int num_advertisers,
-                                                 int num_slots);
+  std::vector<AdvertiserId> MergeShardCandidates(PlanLane* lane,
+                                                 int num_advertisers,
+                                                 int num_slots) const;
 
   /// Shard count at or above which the coordinator merge switches from the
   /// flat re-offer to the tree network.
@@ -163,9 +241,12 @@ class ShardedAuctionEngine {
   std::vector<std::unique_ptr<BiddingStrategy>> strategies_;
   QueryGenerator query_gen_;
   Rng user_rng_;
-  std::vector<Shard> shards_;
-  TopKHeapSet merged_topk_;  // coordinator scratch, reused across auctions
-  PlannedAuction plan_scratch_;  // RunAuctionOn's plan, reused
+  std::vector<ShardRange> ranges_;
+  /// The engine's own lane (PlanAuction / RunAuctionOn path); its caches
+  /// are the ones checkpoints persist and shard_stats reports.
+  std::unique_ptr<PlanLane> internal_lane_;
+  CapturedBids capture_scratch_;  // PlanAuction's capture, reused
+  PlannedAuction plan_scratch_;   // RunAuctionOn's plan, reused
   AuctionOutcome outcome_;
   int64_t auctions_run_ = 0;
   Money total_revenue_ = 0;

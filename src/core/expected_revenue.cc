@@ -14,6 +14,14 @@ RevenueMatrix::RevenueMatrix(int num_advertisers, int num_slots)
   SSA_CHECK(n_ >= 0 && k_ >= 0);
 }
 
+void RevenueMatrix::Reset(int num_advertisers, int num_slots) {
+  SSA_CHECK(num_advertisers >= 0 && num_slots >= 0);
+  n_ = num_advertisers;
+  k_ = num_slots;
+  assigned_.assign(static_cast<size_t>(n_) * k_, 0.0);
+  unassigned_.assign(static_cast<size_t>(n_), 0.0);
+}
+
 double RevenueMatrix::UnassignedTotal() const {
   return std::accumulate(unassigned_.begin(), unassigned_.end(), 0.0);
 }

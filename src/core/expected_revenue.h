@@ -28,6 +28,13 @@ class RevenueMatrix {
  public:
   RevenueMatrix(int num_advertisers, int num_slots);
 
+  /// Re-shapes the matrix for a new fill, reusing the existing allocations
+  /// when capacity suffices — the arena path for planning scratch that
+  /// builds one matrix per auction (ROADMAP 6c). Entries are zeroed like a
+  /// fresh construction, so a Reset matrix is indistinguishable from a new
+  /// one.
+  void Reset(int num_advertisers, int num_slots);
+
   int num_advertisers() const { return n_; }
   int num_slots() const { return k_; }
 

@@ -63,6 +63,11 @@ struct RecoveryReport {
 /// to the uninterrupted run at the last durable record, losing only the
 /// unsynced suffix a crash destroyed. Works for AuctionEngine and
 /// ShardedAuctionEngine (any shard count).
+///
+/// Single-threaded by contract: the caller must be the only party touching
+/// `engine` for the duration (the serving path runs it inside Start(),
+/// before the executor launches). Replay re-executes records strictly in
+/// log-sequence order — the same arrival order the executor settled in.
 template <typename Engine>
 Status RecoverEngine(Engine* engine, const RecoveryOptions& options,
                      RecoveryReport* report) {

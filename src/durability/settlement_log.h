@@ -89,7 +89,11 @@ struct LogWriterOptions {
 /// Append-only settlement-log writer: length-prefixed, CRC32-checksummed
 /// frames, group-commit batching so the serving hot path pays one write (and
 /// at most one fsync) per `group_records` settlements. Single-writer by
-/// contract — the serving executor owns it.
+/// contract — the serving executor owns it, and no method is thread-safe:
+/// Append/Flush must come from one thread, with Appends strictly in
+/// settlement order (seq gaps are rejected). With planning lanes enabled
+/// this contract is unchanged — lanes only plan; settlement (and hence
+/// every Append) stays on the executor thread, in arrival order.
 class SettlementLogWriter {
  public:
   /// Opens `path` for appending, creating it if absent. `next_seq` is the

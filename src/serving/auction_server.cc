@@ -49,6 +49,19 @@ AuctionServer::AuctionServer(
     locking_queue_ = std::make_unique<BoundedQueue<ServingRequest>>(
         config_.queue_capacity, config_.backpressure);
   }
+  SSA_CHECK(config_.num_plan_lanes >= 0);
+  if (config_.num_plan_lanes >= 1) {
+    lanes_.reserve(static_cast<size_t>(config_.num_plan_lanes));
+    for (int e = 0; e < config_.num_plan_lanes; ++e) {
+      lanes_.push_back(engine_.NewPlanLane());
+    }
+    // Worker threads start here and idle until the executor dispatches an
+    // epoch slot; they only ever run the const PlanCaptured half on their
+    // own lane's scratch.
+    lane_pool_ = std::make_unique<LanePool>(
+        config_.num_plan_lanes,
+        [this](int lane, int64_t ticket) { RunLane(lane, ticket); });
+  }
 }
 
 AuctionServer::~AuctionServer() { Stop(); }
@@ -222,6 +235,11 @@ void AuctionServer::RunBatch(std::vector<ServingRequest>* batch) {
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
 
+  if (lane_pool_ != nullptr) {
+    RunBatchWithLanes(batch);
+    return;
+  }
+
   WallTimer timer;
   if (config_.mode == ServingMode::kDeterministicReplay) {
     // Plan+settle interleaved per query: batch boundaries group work but
@@ -261,6 +279,76 @@ void AuctionServer::RunBatch(std::vector<ServingRequest>* batch) {
     completed_.fetch_add(1, std::memory_order_relaxed);
     if (on_complete_) on_complete_(outcome);
   }
+}
+
+void AuctionServer::SettleSlot(std::vector<ServingRequest>* batch, size_t i) {
+  // auction_us spans both planning halves: the executor's capture plus the
+  // lane's pure plan — the same work the in-thread path times as one span.
+  auction_us_.Record(capture_us_[i] + plan_us_[i]);
+  WallTimer timer;
+  const AuctionOutcome& outcome = engine_.SettlePlanned(&plans_[i]);
+  LogSettlement(outcome);
+  settlement_us_.Record(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3));
+  end_to_end_us_.Record(
+      ElapsedUs((*batch)[i].admitted_at, SteadyClock::now()));
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (on_complete_) on_complete_(outcome);
+}
+
+void AuctionServer::RunLane(int lane, int64_t slot) {
+  const size_t i = static_cast<size_t>(slot);
+  WallTimer timer;
+  // Pure planning on this lane's private scratch: reads the executor's
+  // captured bids (published by Dispatch), writes only lanes_[lane] and
+  // plans_[i] (published to the settler by MarkReady).
+  engine_.PlanCaptured((*epoch_batch_)[i].query, captures_[i],
+                       lanes_[static_cast<size_t>(lane)].get(), &plans_[i]);
+  plan_us_[i] = static_cast<uint64_t>(timer.ElapsedMillis() * 1e3);
+  settle_barrier_.MarkReady(slot);
+}
+
+void AuctionServer::RunBatchWithLanes(std::vector<ServingRequest>* batch) {
+  const size_t b = batch->size();
+  plans_.resize(b);
+  captures_.resize(b);
+  capture_us_.assign(b, 0);
+  plan_us_.assign(b, 0);
+  epoch_batch_ = batch;
+  settle_barrier_.Reset(static_cast<int64_t>(b));
+
+  WallTimer timer;
+  if (config_.mode == ServingMode::kDeterministicReplay) {
+    // Replay demands capture i+1 see slot i fully settled (bidding programs
+    // read accounts and their own outcome-updated state), so each slot makes
+    // a full capture -> plan-on-lane -> settle round trip. Values are
+    // bitwise-equal to the serial loop for any lane count; per-lane cache
+    // divergence affects timing only.
+    for (size_t i = 0; i < b; ++i) {
+      timer.Reset();
+      engine_.CaptureBids((*batch)[i].query, &captures_[i]);
+      capture_us_[i] = static_cast<uint64_t>(timer.ElapsedMillis() * 1e3);
+      lane_pool_->Dispatch(static_cast<int64_t>(i));
+      settle_barrier_.AwaitReady(static_cast<int64_t>(i));
+      SettleSlot(batch, i);
+    }
+  } else {
+    // Batched settlement: every capture reads batch-start account state, so
+    // all captures precede the first settlement — same semantics as the
+    // in-thread batched path. The overlap is everything else: capture i+1
+    // proceeds while lanes plan earlier slots, and the settler drains slot i
+    // while lanes still plan slots j > i.
+    for (size_t i = 0; i < b; ++i) {
+      timer.Reset();
+      engine_.CaptureBids((*batch)[i].query, &captures_[i]);
+      capture_us_[i] = static_cast<uint64_t>(timer.ElapsedMillis() * 1e3);
+      lane_pool_->Dispatch(static_cast<int64_t>(i));
+    }
+    for (size_t i = 0; i < b; ++i) {
+      settle_barrier_.AwaitReady(static_cast<int64_t>(i));
+      SettleSlot(batch, i);
+    }
+  }
+  epoch_batch_ = nullptr;
 }
 
 }  // namespace ssa

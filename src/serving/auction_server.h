@@ -14,6 +14,7 @@
 #include "durability/recovery.h"
 #include "durability/settlement_log.h"
 #include "util/bounded_queue.h"
+#include "util/epoch.h"
 #include "util/histogram.h"
 
 namespace ssa {
@@ -91,6 +92,20 @@ struct ServerConfig {
   int max_batch_size = 16;
   std::chrono::microseconds batch_deadline{200};
   ServingMode mode = ServingMode::kDeterministicReplay;
+  /// Planning lanes E. 0 = the executor plans in-thread (the pre-lane
+  /// executor, byte for byte). E >= 1 replicates the *pure* half of planning
+  /// across E worker threads, each owning a private PlanLane scratch arena
+  /// (compiled-bids caches, revenue matrix, top-k heaps): the executor
+  /// captures bids strictly in arrival order (bidding programs may mutate
+  /// their private state, so capture cannot parallelize), hands each
+  /// captured slot to any idle lane, and settles through an ordered commit
+  /// barrier strictly in arrival order. Values and the settlement trajectory
+  /// are identical for every E in both modes — under kDeterministicReplay
+  /// bitwise-equal to the serial engine loop (serving_test pins E in
+  /// {1,2,4,8}); under kBatchedSettlement lanes plan slots while the
+  /// executor settles earlier slots of the same batch, which is where the
+  /// throughput shows up on multi-core hosts.
+  int num_plan_lanes = 0;
   DurabilityConfig durability;
 };
 
@@ -105,10 +120,14 @@ struct ServerConfig {
 /// quantity rather than an offline extrapolation.
 ///
 /// Threading contract: Submit() is safe from any number of producer
-/// threads; the engine is touched only by the executor; telemetry accessors
-/// are safe any time (relaxed atomics) but meaningfully consistent after
-/// Stop(). The completion hook runs on the executor thread, in settlement
-/// (arrival) order.
+/// threads; the engine's mutable state (accounts, strategies, user RNG) is
+/// touched only by the executor; telemetry accessors are safe any time
+/// (relaxed atomics) but meaningfully consistent after Stop(). The
+/// completion hook runs on the executor thread, in settlement (arrival)
+/// order. With num_plan_lanes >= 1 the lane workers run only the const,
+/// side-effect-free PlanCaptured half on private scratch — capture and
+/// settlement stay on the executor, so the single-writer contract above is
+/// unchanged (serving_stress_test runs this under TSan).
 class AuctionServer {
  public:
   using CompletionFn = std::function<void(const AuctionOutcome&)>;
@@ -200,6 +219,15 @@ class AuctionServer {
   /// the first request, then drain until full batch, deadline, or closed.
   bool PopBatchLockFree(std::vector<ServingRequest>* out);
   void RunBatch(std::vector<ServingRequest>* batch);
+  /// The lane-pool epoch pipeline (num_plan_lanes >= 1): capture in arrival
+  /// order, plan on any idle lane, settle through the commit barrier in
+  /// arrival order.
+  void RunBatchWithLanes(std::vector<ServingRequest>* batch);
+  /// Lane worker body: plans epoch slot `slot` on lane `lane`'s scratch,
+  /// then marks the slot ready for the settler.
+  void RunLane(int lane, int64_t slot);
+  /// Settles epoch slot `i` of `batch` (histograms, log, completion hook).
+  void SettleSlot(std::vector<ServingRequest>* batch, size_t i);
 
   ServerConfig config_;
   ShardedAuctionEngine engine_;
@@ -237,6 +265,27 @@ class AuctionServer {
 
   /// Batched-settlement scratch: one plan per in-flight batch slot.
   std::vector<ShardedAuctionEngine::PlannedAuction> plans_;
+
+  // --- Planning-lane epoch state (num_plan_lanes >= 1 only) ----------------
+  // One epoch == one micro-batch. Per-slot state is written by exactly one
+  // party at a time: the executor fills captures_[i]/capture_us_[i] before
+  // Dispatch(i) (publication via the lane pool's queue mutex); the owning
+  // lane fills plans_[i]/plan_us_[i] before MarkReady(i) (publication via
+  // the barrier mutex); the executor reads them after AwaitReady(i). No slot
+  // is touched concurrently, which is the whole TSan story.
+  std::vector<std::unique_ptr<ShardedAuctionEngine::PlanLane>> lanes_;
+  OrderedCommitBarrier settle_barrier_;
+  std::vector<ShardedAuctionEngine::CapturedBids> captures_;
+  std::vector<uint64_t> capture_us_;
+  std::vector<uint64_t> plan_us_;
+  /// The batch the open epoch is serving; valid between the first
+  /// Dispatch and the last AwaitReady of the epoch.
+  std::vector<ServingRequest>* epoch_batch_ = nullptr;
+  /// Declared last so it is destroyed first: the pool's destructor joins
+  /// the lane workers, which may still be finishing a MarkReady on
+  /// settle_barrier_ or reading captures_/lanes_ — everything above must
+  /// outlive them.
+  std::unique_ptr<LanePool> lane_pool_;
 };
 
 }  // namespace ssa

@@ -1,0 +1,148 @@
+#ifndef SSA_UTIL_EPOCH_H_
+#define SSA_UTIL_EPOCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/common.h"
+
+namespace ssa {
+
+/// The in-order commit half of a plan/settle pipeline: producers (planning
+/// lanes) finish tickets in whatever order the scheduler gives them, while a
+/// single consumer (the settler) drains tickets strictly in ticket order —
+/// the "settlement barrier" of the serving executor's epoch pipeline, kept
+/// generic because any stage that fans work out and must re-serialize its
+/// results (log appends, replicated reads off the settlement log) needs
+/// exactly this shape.
+///
+/// Protocol per epoch: the consumer calls Reset(count), producers call
+/// MarkReady(ticket) exactly once per ticket in [0, count), and the consumer
+/// calls AwaitReady(0), AwaitReady(1), ... — each call blocks until that
+/// ticket's producer finished. MarkReady/AwaitReady synchronize (mutex), so
+/// everything a producer wrote before MarkReady(t) is visible to the
+/// consumer after AwaitReady(t) returns.
+///
+/// Thread-safety: MarkReady is safe from any thread; Reset and AwaitReady
+/// belong to the single consumer and must not run concurrently with each
+/// other or with MarkReady calls for a previous epoch (the consumer
+/// guarantees that by awaiting every ticket before Reset).
+class OrderedCommitBarrier {
+ public:
+  /// Opens an epoch of `count` tickets, all pending. Consumer only; every
+  /// ticket of the previous epoch must have been awaited.
+  void Reset(int64_t count) {
+    SSA_CHECK(count >= 0);
+    std::lock_guard<std::mutex> lock(mu_);
+    ready_.assign(static_cast<size_t>(count), 0);
+  }
+
+  /// Marks `ticket` complete. Any thread; at most once per ticket.
+  void MarkReady(int64_t ticket) {
+    // The notify stays under the lock deliberately: the consumer may tear
+    // the barrier down as soon as its last AwaitReady returns, and a
+    // notify outside the lock could still be touching the condvar at that
+    // point. Under the lock, notify happens-before the consumer's
+    // wait-return, so destruction is safe.
+    std::lock_guard<std::mutex> lock(mu_);
+    SSA_CHECK(ticket >= 0 && ticket < static_cast<int64_t>(ready_.size()));
+    ready_[static_cast<size_t>(ticket)] = 1;
+    ready_cv_.notify_all();
+  }
+
+  /// Blocks until `ticket` is ready. Consumer only.
+  void AwaitReady(int64_t ticket) {
+    std::unique_lock<std::mutex> lock(mu_);
+    SSA_CHECK(ticket >= 0 && ticket < static_cast<int64_t>(ready_.size()));
+    ready_cv_.wait(lock,
+                   [&] { return ready_[static_cast<size_t>(ticket)] != 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::vector<char> ready_;  // guarded by mu_
+};
+
+/// A fixed set of worker threads with *stable lane indices*, draining one
+/// shared FIFO of integer tickets: the execution half of the planning-lane
+/// pipeline. Each worker runs body(lane, ticket) for the tickets it pops;
+/// the stable lane index lets the caller give every worker its own scratch
+/// arena (per-lane compiled-bids caches, revenue matrices, top-k heaps)
+/// without any sharing between lanes.
+///
+/// Dispatch() synchronizes with the body invocation (queue mutex), so
+/// everything the dispatcher wrote before Dispatch(t) is visible to the lane
+/// running body(lane, t). Completion is the caller's business — pair with
+/// OrderedCommitBarrier (the body's last act marks the ticket ready).
+///
+/// Lifecycle: construction starts the workers; the destructor completes
+/// every dispatched ticket, then joins. Dispatch is safe from any thread,
+/// though the serving executor uses a single dispatcher.
+class LanePool {
+ public:
+  LanePool(int num_lanes, std::function<void(int lane, int64_t ticket)> body)
+      : body_(std::move(body)) {
+    SSA_CHECK(num_lanes >= 1);
+    workers_.reserve(static_cast<size_t>(num_lanes));
+    for (int lane = 0; lane < num_lanes; ++lane) {
+      workers_.emplace_back([this, lane] { WorkerLoop(lane); });
+    }
+  }
+
+  LanePool(const LanePool&) = delete;
+  LanePool& operator=(const LanePool&) = delete;
+
+  ~LanePool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutting_down_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  /// Enqueues one ticket for any lane.
+  void Dispatch(int64_t ticket) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      SSA_CHECK(!shutting_down_);
+      tickets_.push_back(ticket);
+    }
+    work_cv_.notify_one();
+  }
+
+  int num_lanes() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop(int lane) {
+    for (;;) {
+      int64_t ticket;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock,
+                      [&] { return !tickets_.empty() || shutting_down_; });
+        if (tickets_.empty()) return;  // shutting down and drained
+        ticket = tickets_.front();
+        tickets_.pop_front();
+      }
+      body_(lane, ticket);
+    }
+  }
+
+  std::function<void(int lane, int64_t ticket)> body_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<int64_t> tickets_;  // guarded by mu_
+  bool shutting_down_ = false;   // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_UTIL_EPOCH_H_

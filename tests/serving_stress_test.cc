@@ -152,8 +152,42 @@ TEST(ServingDrainTest, StopDrainsEveryAdmittedRequestLockFreeQueue) {
   EXPECT_EQ(server->engine().auctions_run(), admitted);
 }
 
+/// The lane pipeline under full producer pressure: 4 lane workers planning
+/// concurrently with the executor capturing/settling, both serving modes,
+/// every admitted request settled exactly once. This is the TSan target for
+/// the lane pool's happens-before edges (dispatch-queue mutex for captures,
+/// barrier mutex for plans).
+TEST(ServingLaneStressTest, LanePipelineDrainsUnderProducerPressure) {
+  for (ServingMode mode :
+       {ServingMode::kDeterministicReplay, ServingMode::kBatchedSettlement}) {
+    ServerConfig config;
+    config.engine.num_shards = 2;
+    config.queue_capacity = 64;
+    config.backpressure = BackpressurePolicy::kBlock;
+    config.max_batch_size = 8;
+    config.mode = mode;
+    config.num_plan_lanes = 4;
+    auto server = MakeServer(config);
+    ASSERT_TRUE(server->Start().ok());
+
+    const int kProducers = 4;
+    const int kPerProducer = 500;
+    SubmitTally tally = HammerSubmit(server.get(), kProducers, kPerProducer);
+    server->Stop();
+
+    ASSERT_EQ(tally.total(), kProducers * kPerProducer);
+    EXPECT_EQ(tally.rejected, 0);
+    EXPECT_EQ(tally.closed, 0);
+    EXPECT_EQ(server->accepted(), tally.accepted);
+    EXPECT_EQ(server->completed(), tally.accepted);
+    EXPECT_EQ(server->engine().auctions_run(), tally.accepted);
+  }
+}
+
 /// Producers racing Stop() itself: whatever a producer saw admitted must
-/// still be settled, even if its push interleaved with the close.
+/// still be settled, even if its push interleaved with the close. Trials
+/// sweep the lane count 0..3 so the shutdown race also covers the lane
+/// pipeline's epoch drain.
 TEST(ServingDrainTest, ProducersRacingStopNeverStrandAdmittedRequests) {
   for (int trial = 0; trial < 8; ++trial) {
     ServerConfig config;
@@ -163,6 +197,7 @@ TEST(ServingDrainTest, ProducersRacingStopNeverStrandAdmittedRequests) {
     config.queue_impl =
         trial % 2 == 0 ? QueueImpl::kLocking : QueueImpl::kLockFree;
     config.max_batch_size = 4;
+    config.num_plan_lanes = trial / 2;  // 0, 0, 1, 1, 2, 2, 3, 3
     auto server = MakeServer(config);
     ASSERT_TRUE(server->Start().ok());
 

@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -110,6 +111,7 @@ struct ReplayParam {
   int pool_threads = 0;  // 0 = no pool
   QueueImpl queue_impl = QueueImpl::kLocking;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  int num_plan_lanes = 0;  // 0 = in-thread planning
 };
 
 void RunReplayEquivalence(const ReplayParam& param) {
@@ -141,6 +143,7 @@ void RunReplayEquivalence(const ReplayParam& param) {
   config.max_batch_size = param.max_batch;
   config.batch_deadline = microseconds(100);
   config.mode = ServingMode::kDeterministicReplay;
+  config.num_plan_lanes = param.num_plan_lanes;
 
   std::vector<AdvertiserAccount> accounts;
   Money total_revenue = 0;
@@ -183,6 +186,109 @@ TEST(ServingReplayTest, LockFreeQueueReplay) {
   param.queue_impl = QueueImpl::kLockFree;
   param.backpressure = BackpressurePolicy::kReject;  // ring is reject-only
   RunReplayEquivalence(param);
+}
+
+TEST(ServingLaneReplayTest, MatrixMatchesSerialEngineBitwise) {
+  // The lane-count half of the determinism contract: replaying through E
+  // planning lanes — every lane with its own caches, heaps, and matrix
+  // arena — must reproduce the serial engine loop bitwise, for every
+  // E x shard-count x queue-implementation combination. Per-lane cache
+  // divergence (different lanes see different slots) may only move time,
+  // never values.
+  for (int lanes : {1, 2, 4, 8}) {
+    for (int shards : {1, 4}) {
+      for (QueueImpl queue : {QueueImpl::kLocking, QueueImpl::kLockFree}) {
+        SCOPED_TRACE("lanes=" + std::to_string(lanes) +
+                     " shards=" + std::to_string(shards) + " queue=" +
+                     (queue == QueueImpl::kLocking ? "locking" : "lockfree"));
+        ReplayParam param;
+        param.max_batch = 8;
+        param.num_shards = shards;
+        param.queue_impl = queue;
+        param.backpressure = queue == QueueImpl::kLockFree
+                                 ? BackpressurePolicy::kReject
+                                 : BackpressurePolicy::kBlock;
+        param.num_plan_lanes = lanes;
+        RunReplayEquivalence(param);
+      }
+    }
+  }
+}
+
+TEST(ServingLaneReplayTest, LanesComposeWithCapturePoolAndTreeMerge) {
+  // Lanes on top of everything else at once: the capture fans out across 8
+  // shards on a pool, the lane-side merge takes the tree path (8 >=
+  // kTreeMergeMinShards), and 4 lanes race over the plans.
+  ReplayParam param;
+  param.max_batch = 32;
+  param.num_shards = 8;
+  param.pool_threads = 3;
+  param.num_plan_lanes = 4;
+  RunReplayEquivalence(param);
+}
+
+/// Serves `queries` with every submission admitted *before* Start(): batch
+/// composition becomes deterministic (the executor always pops full
+/// max_batch_size batches from a pre-filled queue), which is what lets two
+/// batched-settlement runs be compared bitwise.
+std::vector<AuctionOutcome> ServePreloaded(
+    const ServerConfig& config, uint64_t workload_seed,
+    const std::vector<Query>& queries,
+    std::vector<AdvertiserAccount>* accounts, Money* total_revenue) {
+  Workload workload = MakePaperWorkload(SmallConfig(workload_seed));
+  auto strategies = RoiStrategies(workload);
+  AuctionServer server(config, std::move(workload), std::move(strategies));
+  std::vector<AuctionOutcome> outcomes;
+  server.set_on_complete(
+      [&outcomes](const AuctionOutcome& out) { outcomes.push_back(out); });
+  for (const Query& q : queries) {
+    EXPECT_EQ(server.Submit(q), QueuePushResult::kAccepted);
+  }
+  server.Start();
+  server.Stop();
+  *accounts = server.engine().accounts();
+  *total_revenue = server.engine().total_revenue();
+  return outcomes;
+}
+
+TEST(ServingLaneBatchedTest, LanesMatchInThreadBatchedPathBitwise) {
+  // kBatchedSettlement is where lanes overlap settlement with planning —
+  // but with identical batch composition the *values* must not move: the
+  // lane pipeline and the in-thread batched loop both plan every slot
+  // against batch-start state and settle in arrival order. Preloading the
+  // queue pins the batch boundaries, so E=0 vs E=4 (and E=4 vs itself)
+  // compare bitwise.
+  const uint64_t workload_seed = 89;
+  Workload w = MakePaperWorkload(SmallConfig(workload_seed));
+  const std::vector<Query> queries =
+      MakeQuerySequence(96, w.config.num_keywords, 97);
+
+  ServerConfig config;
+  config.engine.engine.seed = 97;
+  config.queue_capacity = 128;
+  config.max_batch_size = 16;
+  config.mode = ServingMode::kBatchedSettlement;
+
+  std::vector<AdvertiserAccount> accounts_base, accounts_lanes, accounts_rerun;
+  Money revenue_base = 0, revenue_lanes = 0, revenue_rerun = 0;
+  const auto base = ServePreloaded(config, workload_seed, queries,
+                                   &accounts_base, &revenue_base);
+  config.num_plan_lanes = 4;
+  const auto lanes = ServePreloaded(config, workload_seed, queries,
+                                    &accounts_lanes, &revenue_lanes);
+  const auto rerun = ServePreloaded(config, workload_seed, queries,
+                                    &accounts_rerun, &revenue_rerun);
+
+  ASSERT_EQ(base.size(), queries.size());
+  ASSERT_EQ(lanes.size(), queries.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    ExpectOutcomeBitwiseEq(base[i], lanes[i]);
+    ExpectOutcomeBitwiseEq(lanes[i], rerun[i]);
+  }
+  ExpectAccountsBitwiseEq(accounts_base, accounts_lanes);
+  ExpectAccountsBitwiseEq(accounts_lanes, accounts_rerun);
+  ASSERT_EQ(revenue_base, revenue_lanes);
+  ASSERT_EQ(revenue_lanes, revenue_rerun);
 }
 
 TEST(ServingBatchedSettlementTest, EqualsReplayAtBatchSizeOne) {
