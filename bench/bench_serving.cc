@@ -17,12 +17,16 @@
 // SSA_SERVE_AUCTIONS (measured auctions per config, default 500),
 // SSA_SERVE_WARMUP (default 50), SSA_SERVE_PRODUCERS (default 2),
 // SSA_SEED, SSA_SERVE_QUICK=1 (CI smoke: tiny population and counts).
+// Flags: --json[=path] appends a machine-readable report (to stdout or
+// `path`) after the human-readable tables.
 
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -179,6 +183,47 @@ const char* ModeName(ServingMode mode) {
   return mode == ServingMode::kDeterministicReplay ? "replay" : "batched";
 }
 
+/// One measured configuration, for the optional JSON report.
+struct JsonRow {
+  std::string section;  // "closed_loop" | "lane_sweep" | "open_loop"
+  std::string label;    // mode or load label
+  int lanes = 0;
+  int shards = 0;
+  int batch = 0;
+  LoadResult r;
+};
+
+void WriteJson(std::FILE* f, int n, int auctions, int producers,
+               const std::vector<JsonRow>& rows) {
+  std::fprintf(f, "{\n  \"bench\": \"bench_serving\",\n");
+  std::fprintf(f, "  \"n\": %d,\n  \"auctions\": %d,\n  \"producers\": %d,\n",
+               n, auctions, producers);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& row = rows[i];
+    std::fprintf(
+        f,
+        "    {\"section\": \"%s\", \"label\": \"%s\", \"lanes\": %d, "
+        "\"shards\": %d, \"batch\": %d,\n"
+        "     \"qps\": %.1f, \"offered_qps\": %.1f, \"completed\": %lld, "
+        "\"rejected\": %lld,\n"
+        "     \"queue_us\": {\"p50\": %llu, \"p95\": %llu, \"p99\": %llu},\n"
+        "     \"e2e_us\": {\"p50\": %llu, \"p95\": %llu, \"p99\": %llu}}%s\n",
+        row.section.c_str(), row.label.c_str(), row.lanes, row.shards,
+        row.batch, row.r.qps, row.r.offered_qps,
+        static_cast<long long>(row.r.completed),
+        static_cast<long long>(row.r.rejected),
+        static_cast<unsigned long long>(row.r.queue_p50),
+        static_cast<unsigned long long>(row.r.queue_p95),
+        static_cast<unsigned long long>(row.r.queue_p99),
+        static_cast<unsigned long long>(row.r.e2e_p50),
+        static_cast<unsigned long long>(row.r.e2e_p95),
+        static_cast<unsigned long long>(row.r.e2e_p99),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+}
+
 void PrintRow(const char* label, int shards, int batch, const LoadResult& r) {
   std::printf("%-10s %6d %6d %9.1f %8lld %8lld %8lld %8lld %8lld %8lld\n",
               label, shards, batch, r.qps,
@@ -190,7 +235,23 @@ void PrintRow(const char* label, int shards, int batch, const LoadResult& r) {
               static_cast<long long>(r.e2e_p99));
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  bool json = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json = true;
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (supported: --json[=path])\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  std::vector<JsonRow> json_rows;
+
   const bool quick = EnvInt("SSA_SERVE_QUICK", 0) != 0;
   const int n = static_cast<int>(EnvInt("SSA_SERVE_N", quick ? 500 : 10000));
   const int auctions =
@@ -222,6 +283,9 @@ int Main() {
           RunClosedLoop(n, shards, batch, ServingMode::kDeterministicReplay,
                         producers, warmup, auctions, seed);
       PrintRow(ModeName(ServingMode::kDeterministicReplay), shards, batch, r);
+      json_rows.push_back({"closed_loop",
+                           ModeName(ServingMode::kDeterministicReplay), 0,
+                           shards, batch, r});
       reference_qps = std::max(reference_qps, r.qps);
     }
   }
@@ -232,6 +296,9 @@ int Main() {
         RunClosedLoop(n, shards, batch, ServingMode::kBatchedSettlement,
                       producers, warmup, auctions, seed);
     PrintRow(ModeName(ServingMode::kBatchedSettlement), shards, batch, r);
+    json_rows.push_back({"closed_loop",
+                         ModeName(ServingMode::kBatchedSettlement), 0, shards,
+                         batch, r});
     reference_qps = std::max(reference_qps, r.qps);
   }
 
@@ -263,6 +330,8 @@ int Main() {
                 static_cast<long long>(r.e2e_p50),
                 static_cast<long long>(r.e2e_p95),
                 static_cast<long long>(r.e2e_p99));
+    json_rows.push_back({"lane_sweep", "batched", lanes, lane_shards,
+                         lane_batch, r});
     if (r.qps > best_lane_qps) {
       best_lane_qps = r.qps;
       best_lanes = lanes;
@@ -300,6 +369,7 @@ int Main() {
     char label[32];
     std::snprintf(label, sizeof(label), "%.1fx", factor);
     print_open(label, 0, shards, r);
+    json_rows.push_back({"open_loop", label, 0, shards, batch, r});
   }
   // The best lane count from the sweep under the same near-saturation load:
   // does pipelined planning move the open-loop tail?
@@ -310,6 +380,24 @@ int Main() {
     char label[32];
     std::snprintf(label, sizeof(label), "0.8xE%d", best_lanes);
     print_open(label, best_lanes, lane_shards, r);
+    json_rows.push_back({"open_loop", label, best_lanes, lane_shards,
+                         lane_batch, r});
+  }
+
+  if (json) {
+    std::FILE* f = json_path.empty() ? stdout
+                                     : std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    if (!json_path.empty()) {
+      std::printf("\nJSON report written to %s\n", json_path.c_str());
+    } else {
+      std::printf("\n");
+    }
+    WriteJson(f, n, auctions, producers, json_rows);
+    if (!json_path.empty()) std::fclose(f);
   }
   return 0;
 }
@@ -318,4 +406,4 @@ int Main() {
 }  // namespace bench
 }  // namespace ssa
 
-int main() { return ssa::bench::Main(); }
+int main(int argc, char** argv) { return ssa::bench::Main(argc, argv); }

@@ -1,0 +1,132 @@
+#include "auction/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssa {
+
+CostModel::CostModel(int num_advertisers, const CostModelOptions& options)
+    : options_(options) {
+  SSA_CHECK(num_advertisers >= 0);
+  SSA_CHECK(options_.decay >= 0.0 && options_.decay < 1.0);
+  SSA_CHECK(options_.base_weight >= 0.0);
+  cost_.assign(static_cast<size_t>(num_advertisers), 0.0);
+}
+
+void CostModel::RecordRangeSample(AdvertiserId begin, AdvertiserId end,
+                                  const std::vector<BidsTable>& bids,
+                                  double range_ns) {
+  SSA_CHECK(begin >= 0 && begin <= end &&
+            static_cast<size_t>(end) <= cost_.size());
+  SSA_CHECK(bids.size() == cost_.size());
+  if (begin == end) return;
+  // Two passes: total attribution weight, then the proportional EWMA fold.
+  // Both are O(range) with O(1) per advertiser (rows() is a stored size).
+  double total_weight = 0.0;
+  for (AdvertiserId i = begin; i < end; ++i) {
+    total_weight += options_.base_weight +
+                    static_cast<double>(bids[static_cast<size_t>(i)].size());
+  }
+  if (total_weight <= 0.0) return;
+  // Floor at 1ns: a span below the clock's resolution reads as 0, and a
+  // shard whose captures *persistently* under-resolve would otherwise pin
+  // its advertisers at zero cost and starve the rebalancer of signal. The
+  // floor degrades gracefully to pure row-proportional attribution — only
+  // ratios matter for partitioning.
+  const double ns_per_weight = std::max(range_ns, 1.0) / total_weight;
+  const double keep = options_.decay;
+  const double fold = 1.0 - keep;
+  for (AdvertiserId i = begin; i < end; ++i) {
+    const double weight =
+        options_.base_weight +
+        static_cast<double>(bids[static_cast<size_t>(i)].size());
+    const double sample = weight * ns_per_weight;
+    double& cost = cost_[static_cast<size_t>(i)];
+    cost = keep * cost + fold * sample;
+  }
+}
+
+double CostModel::RangeCost(AdvertiserId begin, AdvertiserId end) const {
+  SSA_CHECK(begin >= 0 && begin <= end &&
+            static_cast<size_t>(end) <= cost_.size());
+  double total = 0.0;
+  for (AdvertiserId i = begin; i < end; ++i) {
+    total += cost_[static_cast<size_t>(i)];
+  }
+  return total;
+}
+
+bool ShardRebalancer::Due(int64_t auctions_run) {
+  if (options_.every <= 0) return false;
+  if (auctions_run - last_due_ < options_.every) return false;
+  last_due_ = auctions_run;
+  return true;
+}
+
+std::vector<ShardRange> ShardRebalancer::ComputeBalancedRanges(
+    const std::vector<double>& costs, int num_shards) {
+  const int n = static_cast<int>(costs.size());
+  SSA_CHECK(num_shards >= 1);
+  const int k = std::min(num_shards, std::max(1, n));
+  std::vector<ShardRange> ranges(static_cast<size_t>(k));
+  if (n == 0) return ranges;
+
+  double total = 0.0;
+  for (double c : costs) total += c;
+
+  if (total <= 0.0) {
+    // No signal yet: the constructor's uniform split.
+    for (int s = 0; s < k; ++s) {
+      ranges[s].begin =
+          static_cast<AdvertiserId>(static_cast<int64_t>(n) * s / k);
+      ranges[s].end =
+          static_cast<AdvertiserId>(static_cast<int64_t>(n) * (s + 1) / k);
+    }
+    return ranges;
+  }
+
+  double prefix = 0.0;
+  int i = 0;
+  for (int s = 0; s < k; ++s) {
+    ranges[s].begin = static_cast<AdvertiserId>(i);
+    if (s == k - 1) {
+      ranges[s].end = static_cast<AdvertiserId>(n);
+      break;
+    }
+    // Later shards must each keep at least one advertiser.
+    const int max_end = n - (k - 1 - s);
+    const double target = total * (s + 1) / k;
+    // The shard takes at least one advertiser, then keeps extending while
+    // the next advertiser moves the prefix closer to (or exactly onto) the
+    // target — the closer side of the prefix-sum crossing.
+    prefix += costs[static_cast<size_t>(i)];
+    ++i;
+    while (i < max_end &&
+           std::abs(prefix + costs[static_cast<size_t>(i)] - target) <=
+               std::abs(prefix - target)) {
+      prefix += costs[static_cast<size_t>(i)];
+      ++i;
+    }
+    ranges[s].end = static_cast<AdvertiserId>(i);
+  }
+  return ranges;
+}
+
+double ShardRebalancer::PredictedImbalance(
+    const std::vector<double>& costs, const std::vector<ShardRange>& ranges) {
+  SSA_CHECK(!ranges.empty());
+  double total = 0.0;
+  double worst = 0.0;
+  for (const ShardRange& range : ranges) {
+    double shard = 0.0;
+    for (AdvertiserId i = range.begin; i < range.end; ++i) {
+      shard += costs[static_cast<size_t>(i)];
+    }
+    total += shard;
+    worst = std::max(worst, shard);
+  }
+  if (total <= 0.0) return 1.0;
+  return worst / (total / static_cast<double>(ranges.size()));
+}
+
+}  // namespace ssa

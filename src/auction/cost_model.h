@@ -1,0 +1,136 @@
+#ifndef SSA_AUCTION_COST_MODEL_H_
+#define SSA_AUCTION_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bids_table.h"
+#include "util/common.h"
+
+namespace ssa {
+
+/// Contiguous advertiser range [begin, end) owned by one shard. Public so
+/// partitions can be computed (ShardRebalancer), applied
+/// (ShardedAuctionEngine::Repartition) and inspected (ShardStats) without
+/// reaching into the engine.
+struct ShardRange {
+  AdvertiserId begin = 0;
+  AdvertiserId end = 0;
+};
+
+inline bool operator==(const ShardRange& a, const ShardRange& b) {
+  return a.begin == b.begin && a.end == b.end;
+}
+inline bool operator!=(const ShardRange& a, const ShardRange& b) {
+  return !(a == b);
+}
+
+struct CostModelOptions {
+  /// EWMA retention per auction: cost <- decay * cost + (1 - decay) * sample.
+  /// 0.9 forgets a workload shift in a few dozen auctions while smoothing
+  /// over per-query keyword variation.
+  double decay = 0.9;
+  /// Fixed per-advertiser weight added to the per-row weight when
+  /// attributing a range's measured nanoseconds across its advertisers —
+  /// models the per-advertiser overhead (strategy dispatch, fingerprint,
+  /// cache probe) that exists even for an empty table.
+  double base_weight = 1.0;
+};
+
+/// Measured per-advertiser cost, exponentially decayed across auctions — the
+/// feedback signal shard rebalancing equalizes. The two cheap signals the
+/// engine already produces drive it: the *measured nanoseconds* of each
+/// shard's program-evaluation (capture) span, attributed across the range's
+/// advertisers proportionally to the *revenue-matrix rows they touched*
+/// (rows emitted into their BidsTable; each row is one compiled mask column
+/// and one matrix accumulation, so rows are the shared cost driver of both
+/// planning halves). Per-advertiser clocks would cost two steady_clock reads
+/// per advertiser per auction — more than many MakeBids calls — so the model
+/// deliberately measures per *range* and attributes per row.
+///
+/// Units are nanoseconds-per-auction; only ratios matter for partitioning.
+///
+/// Threading: RecordRangeSample writes only cost_[begin, end), so concurrent
+/// calls for the disjoint ranges of one auction (the capture fan-out) are
+/// safe. Readers (costs, RangeCost) must not race a capture — the engine's
+/// quiescent-telemetry convention.
+class CostModel {
+ public:
+  CostModel(int num_advertisers, const CostModelOptions& options);
+
+  /// Folds one auction's measured capture nanoseconds for advertisers
+  /// [begin, end) into their EWMAs. `bids` is the full captured population
+  /// (indexed by global advertiser id). Call exactly once per advertiser per
+  /// auction (every advertiser is in exactly one shard range).
+  void RecordRangeSample(AdvertiserId begin, AdvertiserId end,
+                         const std::vector<BidsTable>& bids, double range_ns);
+
+  double cost(AdvertiserId i) const {
+    return cost_[static_cast<size_t>(i)];
+  }
+  const std::vector<double>& costs() const { return cost_; }
+  /// Predicted per-auction cost of [begin, end): the sum of its EWMAs.
+  double RangeCost(AdvertiserId begin, AdvertiserId end) const;
+  double TotalCost() const { return RangeCost(0, num_advertisers()); }
+  int num_advertisers() const { return static_cast<int>(cost_.size()); }
+  /// Auctions folded in so far (capture calls NoteAuction once per query,
+  /// from the sequential half — never from the range fan-out).
+  int64_t auctions_sampled() const { return auctions_sampled_; }
+  void NoteAuction() { ++auctions_sampled_; }
+
+  const CostModelOptions& options() const { return options_; }
+
+ private:
+  CostModelOptions options_;
+  std::vector<double> cost_;
+  int64_t auctions_sampled_ = 0;
+};
+
+struct ShardRebalancerOptions {
+  /// Auctions between rebalance attempts; 0 disables the periodic trigger
+  /// (on-demand RebalanceShards still works).
+  int64_t every = 1024;
+  /// Keep the current layout while its predicted imbalance (slowest shard's
+  /// predicted cost / mean shard cost) is below this — repartitioning is
+  /// cheap but not free (per-shard scratch rebuilds, phase timers reset), so
+  /// near-balanced layouts are left alone.
+  double min_imbalance = 1.05;
+};
+
+/// Recomputes contiguous shard boundaries that equalize predicted per-shard
+/// cost: a prefix-sum walk over the per-advertiser EWMAs cuts the population
+/// where the running total crosses each shard's proportional target
+/// (choosing the closer side of the crossing). Every shard keeps at least
+/// one advertiser, so any cost vector — including all-zero, before the
+/// model has samples — yields a valid partition.
+class ShardRebalancer {
+ public:
+  explicit ShardRebalancer(const ShardRebalancerOptions& options)
+      : options_(options) {}
+
+  /// True when `auctions_run` has advanced `options.every` auctions past the
+  /// last due point (never when `every` is 0). The caller decides *where* in
+  /// its schedule to honor a due rebalance — the serving executor only does
+  /// so at epoch boundaries.
+  bool Due(int64_t auctions_run);
+
+  /// The equal-predicted-cost contiguous partition of costs.size()
+  /// advertisers into `num_shards` ranges (clamped to the population size).
+  static std::vector<ShardRange> ComputeBalancedRanges(
+      const std::vector<double>& costs, int num_shards);
+
+  /// max-shard/mean-shard predicted cost of `ranges` under `costs`
+  /// (1.0 = perfectly balanced; returns 1.0 when total cost is zero).
+  static double PredictedImbalance(const std::vector<double>& costs,
+                                   const std::vector<ShardRange>& ranges);
+
+  const ShardRebalancerOptions& options() const { return options_; }
+
+ private:
+  ShardRebalancerOptions options_;
+  int64_t last_due_ = 0;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_AUCTION_COST_MODEL_H_

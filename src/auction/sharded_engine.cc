@@ -11,18 +11,6 @@
 
 namespace ssa {
 
-int64_t ShardedAuctionEngine::PlanLane::cache_hits() const {
-  int64_t total = 0;
-  for (const ShardScratch& s : shards) total += s.cache.hits();
-  return total;
-}
-
-int64_t ShardedAuctionEngine::PlanLane::cache_misses() const {
-  int64_t total = 0;
-  for (const ShardScratch& s : shards) total += s.cache.misses();
-  return total;
-}
-
 ShardedAuctionEngine::ShardedAuctionEngine(
     const ShardedEngineConfig& config, Workload workload,
     std::vector<std::unique_ptr<BiddingStrategy>> strategies)
@@ -30,8 +18,15 @@ ShardedAuctionEngine::ShardedAuctionEngine(
       workload_(std::move(workload)),
       strategies_(std::move(strategies)),
       query_gen_(workload_.config.num_keywords, config.engine.seed),
-      user_rng_(config.engine.seed ^ 0x5eed0f0e125eedULL) {
+      user_rng_(config.engine.seed ^ 0x5eed0f0e125eedULL),
+      cost_model_(static_cast<int>(strategies_.size()), config.cost_model) {
   SSA_CHECK(strategies_.size() == workload_.accounts.size());
+  // The sharded engine replaces row-block matrix parallelism with
+  // whole-shard tasks; a configured matrix_pool would be silently dropped,
+  // so reject the misconfiguration instead (use ShardedEngineConfig::pool).
+  SSA_CHECK_MSG(config_.engine.matrix_pool == nullptr,
+                "ShardedEngineConfig: engine.matrix_pool is not used by the "
+                "sharded engine; set ShardedEngineConfig::pool instead");
   const int n = static_cast<int>(strategies_.size());
   SSA_CHECK(config_.num_shards >= 1);
   const int num_shards = std::min(config_.num_shards, std::max(1, n));
@@ -44,6 +39,7 @@ ShardedAuctionEngine::ShardedAuctionEngine(
         static_cast<AdvertiserId>(static_cast<int64_t>(n) * (s + 1) /
                                   num_shards);
   }
+  capture_ns_.assign(ranges_.size(), 0);
   internal_lane_ = NewPlanLane();
   // The internal lane is the engine's only lane on the RunAuctionOn path, so
   // intra-query shard parallelism is the right use of the pool there.
@@ -53,6 +49,9 @@ ShardedAuctionEngine::ShardedAuctionEngine(
 std::unique_ptr<ShardedAuctionEngine::PlanLane>
 ShardedAuctionEngine::NewPlanLane() const {
   auto lane = std::make_unique<PlanLane>();
+  // Pre-sized so parallel shard tasks only ever touch existing, disjoint
+  // entries (CompiledBidsCache's concurrency precondition).
+  lane->cache.Reserve(strategies_.size());
   lane->shards.resize(ranges_.size());
   lane->pool = nullptr;
   return lane;
@@ -62,38 +61,52 @@ void ShardedAuctionEngine::CaptureBids(const Query& query,
                                        CapturedBids* bids) {
   const int n = static_cast<int>(strategies_.size());
   bids->resize(n);
-  auto capture_range = [&](const ShardRange& range) {
+  auto capture_range = [&](int s) {
+    const ShardRange& range = ranges_[static_cast<size_t>(s)];
+    WallTimer timer;
     for (AdvertiserId i = range.begin; i < range.end; ++i) {
       BidsTable& table = (*bids)[i];
       table.Clear();
       strategies_[i]->MakeBids(query, workload_.accounts[i], &table);
     }
+    // One timer per shard per auction, attributed per advertiser by rows
+    // emitted — the cost feedback RebalanceShards partitions on. Ranges are
+    // disjoint, so the fan-out writes disjoint cost entries (and disjoint
+    // capture_ns_ slots).
+    const double span_ns = timer.ElapsedSeconds() * 1e9;
+    cost_model_.RecordRangeSample(range.begin, range.end, *bids, span_ns);
+    capture_ns_[static_cast<size_t>(s)] += static_cast<int64_t>(span_ns);
   };
   const int num_shards = static_cast<int>(ranges_.size());
   if (config_.pool != nullptr && num_shards > 1) {
     // Strategies of different advertisers share no state (Section II-B), so
     // the capture fans out across shards; only captures of *distinct
     // queries* must serialize.
-    config_.pool->ParallelFor(num_shards,
-                              [&](int s) { capture_range(ranges_[s]); });
+    config_.pool->ParallelFor(num_shards, capture_range);
   } else {
-    for (int s = 0; s < num_shards; ++s) capture_range(ranges_[s]);
+    for (int s = 0; s < num_shards; ++s) capture_range(s);
   }
+  cost_model_.NoteAuction();
 }
 
 void ShardedAuctionEngine::RunShardPhase(const ShardRange& range,
+                                         CompiledBidsCache* cache,
                                          PlanLane::ShardScratch* scratch,
                                          const CapturedBids& bids,
                                          RevenueMatrix* revenue,
                                          bool collect_topk) const {
+  WallTimer phase_timer;
   const int k = workload_.config.num_slots;
   const ClickModel& model = *workload_.click_model;
   for (AdvertiserId i = range.begin; i < range.end; ++i) {
-    const CompiledBids& compiled =
-        scratch->cache.Get(i - range.begin, bids[i], k);
+    const CompiledBids& compiled = cache->Get(i, bids[i], k);
     FillRevenueRow(compiled, model, revenue, i);
   }
-  if (!collect_topk) return;
+  if (!collect_topk) {
+    scratch->phase_ns +=
+        static_cast<int64_t>(phase_timer.ElapsedSeconds() * 1e9);
+    return;
+  }
   // Local per-slot top-k over the shard's rows — the leaf step of the
   // Section III-E aggregation, with global advertiser ids so the merge is a
   // plain re-offer.
@@ -107,6 +120,8 @@ void ShardedAuctionEngine::RunShardPhase(const ShardRange& range,
       scratch->topk.Offer(j, w, i);
     }
   }
+  scratch->phase_ns +=
+      static_cast<int64_t>(phase_timer.ElapsedSeconds() * 1e9);
 }
 
 std::vector<AdvertiserId> ShardedAuctionEngine::MergeShardCandidates(
@@ -182,7 +197,13 @@ void ShardedAuctionEngine::PlanCaptured(const Query& query,
   const int k = workload_.config.num_slots;
   const ClickModel& model = *workload_.click_model;
   SSA_CHECK(static_cast<int>(bids.size()) == n);
-  SSA_CHECK(lane->shards.size() == ranges_.size());
+  // A Repartition since this lane was created may have changed the shard
+  // count; scratch adapts lazily (the compiled-bids cache is keyed by global
+  // advertiser id, so it carries over untouched).
+  if (lane->shards.size() != ranges_.size()) {
+    lane->shards.clear();
+    lane->shards.resize(ranges_.size());
+  }
   plan->outcome = AuctionOutcome{};
   plan->outcome.query = query;
 
@@ -197,11 +218,13 @@ void ShardedAuctionEngine::PlanCaptured(const Query& query,
   const int num_shards = static_cast<int>(ranges_.size());
   if (lane->pool != nullptr && num_shards > 1) {
     lane->pool->ParallelFor(num_shards, [&](int s) {
-      RunShardPhase(ranges_[s], &lane->shards[s], bids, &revenue, reduced);
+      RunShardPhase(ranges_[s], &lane->cache, &lane->shards[s], bids,
+                    &revenue, reduced);
     });
   } else {
     for (int s = 0; s < num_shards; ++s) {
-      RunShardPhase(ranges_[s], &lane->shards[s], bids, &revenue, reduced);
+      RunShardPhase(ranges_[s], &lane->cache, &lane->shards[s], bids,
+                    &revenue, reduced);
     }
   }
   plan->outcome.program_eval_ms = timer.ElapsedMillis();
@@ -254,8 +277,61 @@ ShardedAuctionEngine::ShardStats ShardedAuctionEngine::shard_stats(
     int shard) const {
   SSA_CHECK(shard >= 0 && shard < num_shards());
   const ShardRange& range = ranges_[shard];
-  const CompiledBidsCache& cache = internal_lane_->shards[shard].cache;
-  return ShardStats{range.begin, range.end, cache.hits(), cache.misses()};
+  const CompiledBidsCache& cache = internal_lane_->cache;
+  ShardStats stats;
+  stats.begin = range.begin;
+  stats.end = range.end;
+  stats.cache_hits = cache.HitsInRange(range.begin, range.end);
+  stats.cache_misses = cache.MissesInRange(range.begin, range.end);
+  stats.capture_ns = capture_ns_[static_cast<size_t>(shard)];
+  if (shard < static_cast<int>(internal_lane_->shards.size())) {
+    stats.phase_ns = internal_lane_->shards[shard].phase_ns;
+  }
+  stats.model_cost = cost_model_.RangeCost(range.begin, range.end);
+  return stats;
+}
+
+Status ShardedAuctionEngine::Repartition(
+    const std::vector<ShardRange>& ranges) {
+  const AdvertiserId n = static_cast<AdvertiserId>(strategies_.size());
+  if (ranges.empty()) {
+    return Status::InvalidArgument("Repartition: empty range list");
+  }
+  if (ranges.front().begin != 0 || ranges.back().end != n) {
+    return Status::InvalidArgument(
+        "Repartition: ranges must cover [0, num_advertisers)");
+  }
+  for (size_t s = 0; s < ranges.size(); ++s) {
+    if (ranges[s].begin >= ranges[s].end) {
+      return Status::InvalidArgument("Repartition: empty or inverted shard");
+    }
+    if (s > 0 && ranges[s].begin != ranges[s - 1].end) {
+      return Status::InvalidArgument("Repartition: ranges must be contiguous");
+    }
+  }
+  ranges_ = ranges;
+  // The internal lane's shard scratch is layout-specific (per-shard heaps and
+  // phase timers), as are the capture clocks; the compiled-bids cache is
+  // keyed by global advertiser id and survives untouched. External lanes
+  // resize lazily in PlanCaptured.
+  capture_ns_.assign(ranges_.size(), 0);
+  internal_lane_->shards.clear();
+  internal_lane_->shards.resize(ranges_.size());
+  return Status::Ok();
+}
+
+bool ShardedAuctionEngine::RebalanceShards(double min_imbalance) {
+  if (num_shards() <= 1) return false;
+  if (cost_model_.TotalCost() <= 0.0) return false;  // no signal yet
+  const double imbalance =
+      ShardRebalancer::PredictedImbalance(cost_model_.costs(), ranges_);
+  if (imbalance < min_imbalance) return false;
+  std::vector<ShardRange> balanced = ShardRebalancer::ComputeBalancedRanges(
+      cost_model_.costs(), num_shards());
+  if (balanced == ranges_) return false;
+  const Status status = Repartition(balanced);
+  SSA_CHECK_MSG(status.ok(), "RebalanceShards produced invalid ranges");
+  return true;
 }
 
 int64_t ShardedAuctionEngine::cache_hits() const {
@@ -267,11 +343,7 @@ int64_t ShardedAuctionEngine::cache_misses() const {
 }
 
 int64_t ShardedAuctionEngine::verified_recompiles() const {
-  int64_t total = 0;
-  for (const PlanLane::ShardScratch& s : internal_lane_->shards) {
-    total += s.cache.verified_recompiles();
-  }
-  return total;
+  return internal_lane_->cache.verified_recompiles();
 }
 
 void ShardedAuctionEngine::CaptureCheckpoint(EngineCheckpoint* ckpt) const {
@@ -288,17 +360,11 @@ void ShardedAuctionEngine::CaptureCheckpoint(EngineCheckpoint* ckpt) const {
   for (size_t i = 0; i < strategies_.size(); ++i) {
     strategies_[i]->SaveState(&ckpt->strategy_state[i]);
   }
-  // Shard caches key on local index i - begin; the checkpoint stores keys by
-  // global advertiser id so it is portable across shard layouts. Only the
-  // internal lane's caches persist — external PlanLanes are scratch.
+  // The lane cache keys by global advertiser id, so its key snapshot is
+  // already portable across shard layouts. Only the internal lane's cache
+  // persists — external PlanLanes are scratch.
+  ckpt->cache_keys = internal_lane_->cache.ExportKeys();
   ckpt->cache_keys.resize(strategies_.size());
-  for (size_t s = 0; s < ranges_.size(); ++s) {
-    const std::vector<CompiledBidsCache::KeySnapshot> local =
-        internal_lane_->shards[s].cache.ExportKeys();
-    for (size_t j = 0; j < local.size(); ++j) {
-      ckpt->cache_keys[ranges_[s].begin + j] = local[j];
-    }
-  }
 }
 
 Status ShardedAuctionEngine::RestoreCheckpoint(const EngineCheckpoint& ckpt) {
@@ -320,16 +386,9 @@ Status ShardedAuctionEngine::RestoreCheckpoint(const EngineCheckpoint& ckpt) {
   query_gen_.RestoreState(ckpt.query_gen);
   auctions_run_ = static_cast<int64_t>(ckpt.seq);
   total_revenue_ = ckpt.total_revenue;
-  for (size_t s = 0; s < ranges_.size(); ++s) {
-    const ShardRange& range = ranges_[s];
-    std::vector<CompiledBidsCache::KeySnapshot> local(range.end - range.begin);
-    for (size_t j = 0; j < local.size(); ++j) {
-      if (range.begin + j < ckpt.cache_keys.size()) {
-        local[j] = ckpt.cache_keys[range.begin + j];
-      }
-    }
-    internal_lane_->shards[s].cache.PrimeExpectedKeys(local);
-  }
+  // Cache keys are global-id indexed on both sides, so a checkpoint written
+  // under one shard layout restores under any other.
+  internal_lane_->cache.PrimeExpectedKeys(ckpt.cache_keys);
   outcome_ = AuctionOutcome{};
   return Status::Ok();
 }

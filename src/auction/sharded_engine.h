@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "auction/auction_engine.h"
+#include "auction/cost_model.h"
 #include "auction/pricing.h"
 #include "auction/query_gen.h"
 #include "auction/workload.h"
@@ -23,17 +24,25 @@ struct EngineCheckpoint;
 
 /// Configuration of the sharded engine: the base engine knobs (winner
 /// determination, pricing, seed) plus the shard count and the pool the
-/// shards run on. `engine.matrix_pool` is ignored — sharding replaces the
-/// row-block parallelism with whole-shard tasks.
+/// shards run on. `engine.matrix_pool` must be null — sharding replaces the
+/// row-block parallelism with whole-shard tasks, and a configured pool that
+/// silently did nothing would misrepresent the measured setup, so
+/// construction rejects it loudly.
 struct ShardedEngineConfig {
   EngineConfig engine;
   /// Number of shards K the advertiser population is partitioned into
-  /// (contiguous ranges of ~n/K advertisers). Clamped to [1, max(1, n)].
+  /// (initially contiguous ranges of ~n/K advertisers; Repartition /
+  /// RebalanceShards may move the boundaries later). Clamped to
+  /// [1, max(1, n)].
   int num_shards = 1;
   /// Optional (non-owning) pool: shard tasks run concurrently on it. With
   /// nullptr the shards execute sequentially — the output is identical
   /// either way (shards share nothing until the merge).
   ThreadPool* pool = nullptr;
+  /// Per-advertiser cost feedback knobs (decay, attribution weights). The
+  /// model is always maintained — its per-auction overhead is one timer per
+  /// shard plus an O(n) EWMA fold inside the capture fan-out.
+  CostModelOptions cost_model;
 };
 
 /// Horizontally partitioned auction engine: the advertiser population is
@@ -48,10 +57,17 @@ struct ShardedEngineConfig {
 ///
 /// Determinism contract: with equal seeds and workloads, every auction's
 /// allocation, prices, user events, and account balances are bitwise
-/// identical to the single-engine path, for any K and any pool — asserted
-/// by sharded_engine_test. Strategies of different advertisers never share
-/// mutable state (Section II-B), which is what makes the shard phase
-/// embarrassingly parallel.
+/// identical to the single-engine path, for any K, any pool, and any shard
+/// *partition* — including partitions changed mid-stream by Repartition /
+/// RebalanceShards — asserted by sharded_engine_test. Strategies of
+/// different advertisers never share mutable state (Section II-B), which is
+/// what makes the shard phase embarrassingly parallel.
+///
+/// Skew: the merge is a barrier, so the slowest shard sets auction latency.
+/// The engine keeps a per-advertiser CostModel (EWMA of measured capture
+/// nanoseconds attributed by rows emitted) and RebalanceShards moves the
+/// contiguous boundaries to equalize predicted shard cost — see
+/// docs/ARCHITECTURE.md §"Cost-model-driven shard rebalancing".
 ///
 /// Planning lanes: one auction's plan splits into a *sequential* half that
 /// runs the bidding programs (CaptureBids — strategies may mutate private
@@ -95,24 +111,35 @@ class ShardedAuctionEngine {
   /// computed on a lane.
   using CapturedBids = std::vector<BidsTable>;
 
-  /// Per-lane planning scratch: per-shard compiled-bids caches and top-k
-  /// heaps, the coordinator merge heap, and an arena-reused revenue matrix.
-  /// Opaque to callers — create with NewPlanLane(), hand to PlanCaptured.
-  /// A lane must not be used by two threads at once; distinct lanes are
-  /// fully independent.
+  /// Per-lane planning scratch: one population-wide compiled-bids cache,
+  /// per-shard top-k heaps and phase timers, the coordinator merge heap, and
+  /// an arena-reused revenue matrix. Opaque to callers — create with
+  /// NewPlanLane(), hand to PlanCaptured. A lane must not be used by two
+  /// threads at once; distinct lanes are fully independent.
+  ///
+  /// The cache is keyed by *global* advertiser id and pre-sized to the
+  /// population, so (a) parallel shard tasks of one lane touch disjoint
+  /// entries race-free, and (b) Repartition invalidates nothing — an
+  /// advertiser's compilation survives any boundary move.
   class PlanLane {
    public:
-    /// Compiled-bids cache totals across this lane's shards (per-lane
-    /// telemetry; lane caches are scratch and never checkpointed).
-    int64_t cache_hits() const;
-    int64_t cache_misses() const;
+    /// Compiled-bids cache totals for this lane (per-lane telemetry; lane
+    /// caches are scratch and never checkpointed).
+    int64_t cache_hits() const { return cache.hits(); }
+    int64_t cache_misses() const { return cache.misses(); }
 
    private:
     friend class ShardedAuctionEngine;
     struct ShardScratch {
-      CompiledBidsCache cache;  // keyed on local index i - range.begin
-      TopKHeapSet topk;         // local per-slot top-k, reused
+      TopKHeapSet topk;  // local per-slot top-k, reused
+      /// Accumulated RunShardPhase wall time for this shard on this lane —
+      /// the slowest-shard/mean gap bench_sharded reports. Reset by
+      /// Repartition (old per-shard spans are not comparable across
+      /// layouts).
+      int64_t phase_ns = 0;
     };
+    /// Population-wide, global-id-keyed compiled-bids cache (see above).
+    CompiledBidsCache cache;
     std::vector<ShardScratch> shards;
     TopKHeapSet merged_topk;     // coordinator scratch, reused
     RevenueMatrix revenue{0, 0};  // arena-reused across auctions
@@ -173,16 +200,51 @@ class ShardedAuctionEngine {
   int64_t auctions_run() const { return auctions_run_; }
   Money total_revenue() const { return total_revenue_; }
   int num_shards() const { return static_cast<int>(ranges_.size()); }
+  const std::vector<ShardRange>& shard_ranges() const { return ranges_; }
 
-  /// Per-shard observability: advertiser range and compiled-bids cache
-  /// performance on the engine's internal lane (each shard compiles only
-  /// its own population; external PlanLanes carry their own caches and
-  /// report through PlanLane::cache_hits()).
+  /// The per-advertiser cost feedback (EWMA nanoseconds per auction) the
+  /// rebalancer partitions on. Fed by every CaptureBids call — the serving
+  /// path included — so it tracks the live query mix in any mode. Read only
+  /// while no capture is in flight.
+  const CostModel& cost_model() const { return cost_model_; }
+
+  /// Replaces the shard layout with `ranges` — contiguous, non-empty,
+  /// covering exactly [0, n) in order (the shard *count* may change).
+  /// Results are bitwise-identical under any valid partition: the merge is
+  /// an order-independent top-k-of-union, and lane caches are keyed by
+  /// global advertiser id, so no compilation is lost. Per-shard scratch
+  /// (top-k heaps, phase timers) is rebuilt; external PlanLanes re-size
+  /// their scratch lazily on their next PlanCaptured. Must not run
+  /// concurrently with CaptureBids / PlanCaptured / SettlePlanned on any
+  /// lane — the serving executor calls it only between epochs.
+  Status Repartition(const std::vector<ShardRange>& ranges);
+
+  /// Cost-model-driven rebalance: computes the equal-predicted-cost
+  /// contiguous partition (ShardRebalancer::ComputeBalancedRanges over the
+  /// cost model) and applies it when the *current* layout's predicted
+  /// imbalance (max shard cost / mean) is at least `min_imbalance` and the
+  /// boundaries actually move. Returns true iff the layout changed. Same
+  /// concurrency contract as Repartition.
+  bool RebalanceShards(double min_imbalance = 1.0);
+
+  /// Per-shard observability: advertiser range, compiled-bids cache
+  /// performance over that range on the engine's internal lane, accumulated
+  /// shard-phase time on the internal lane, and the cost model's predicted
+  /// per-auction cost for the range (external PlanLanes report through
+  /// PlanLane::cache_hits()).
   struct ShardStats {
     AdvertiserId begin = 0;
     AdvertiserId end = 0;
     int64_t cache_hits = 0;
     int64_t cache_misses = 0;
+    /// Bid-capture wall time for the shard's range (every query, internal
+    /// or lane-planned) since construction or the last Repartition.
+    int64_t capture_ns = 0;
+    /// RunShardPhase wall time accumulated on the internal lane since
+    /// construction or the last Repartition.
+    int64_t phase_ns = 0;
+    /// Predicted per-auction cost (sum of the range's EWMAs, ns).
+    double model_cost = 0;
   };
   ShardStats shard_stats(int shard) const;
   /// Internal-lane cache hits/misses summed over all shards (comparable to
@@ -204,20 +266,14 @@ class ShardedAuctionEngine {
   Status RestoreFromCheckpoint(const std::string& path);
 
  private:
-  /// Advertisers [begin, end) owned by one shard — fixed at construction,
-  /// shared read-only by every lane.
-  struct ShardRange {
-    AdvertiserId begin = 0;
-    AdvertiserId end = 0;
-  };
-
   /// The share-nothing per-shard unit of the pure planning half: compiled-
-  /// bids lookups, revenue-matrix rows, and (for the reduced method) the
-  /// local per-slot top-k. Reads the captured tables; writes only the
-  /// lane's shard scratch and the shard's disjoint matrix rows.
-  void RunShardPhase(const ShardRange& range, PlanLane::ShardScratch* scratch,
-                     const CapturedBids& bids, RevenueMatrix* revenue,
-                     bool collect_topk) const;
+  /// bids lookups (disjoint entries of the lane's shared cache),
+  /// revenue-matrix rows, and (for the reduced method) the local per-slot
+  /// top-k. Reads the captured tables; writes only the lane's shard
+  /// scratch, the shard's cache entries, and its disjoint matrix rows.
+  void RunShardPhase(const ShardRange& range, CompiledBidsCache* cache,
+                     PlanLane::ShardScratch* scratch, const CapturedBids& bids,
+                     RevenueMatrix* revenue, bool collect_topk) const;
 
   /// Merges the lane's per-shard top-k heaps into the global per-slot top-k
   /// and extracts the candidate union — identical to the single-engine
@@ -241,7 +297,17 @@ class ShardedAuctionEngine {
   std::vector<std::unique_ptr<BiddingStrategy>> strategies_;
   QueryGenerator query_gen_;
   Rng user_rng_;
+  /// Advertisers [begin, end) per shard — shared read-only by every lane
+  /// while any plan is in flight; rewritten only by Repartition.
   std::vector<ShardRange> ranges_;
+  /// Per-advertiser EWMA cost, fed by the capture fan-out (shards write
+  /// disjoint ranges). Deliberately *not* checkpointed: it is a performance
+  /// hint, and a restored engine re-learns it within ~1/(1-decay) auctions.
+  CostModel cost_model_;
+  /// Per-shard capture wall time, the observable twin of the cost model's
+  /// input. Indexed like ranges_; the capture fan-out writes disjoint
+  /// entries, and Repartition (which owns the layout) resets it.
+  std::vector<int64_t> capture_ns_;
   /// The engine's own lane (PlanAuction / RunAuctionOn path); its caches
   /// are the ones checkpoints persist and shard_stats reports.
   std::unique_ptr<PlanLane> internal_lane_;

@@ -320,6 +320,10 @@ uint64_t FingerprintBids(const BidsTable& bids) {
   return seed;
 }
 
+void CompiledBidsCache::Reserve(size_t n) {
+  if (entries_.size() < n) entries_.resize(n);
+}
+
 const CompiledBids& CompiledBidsCache::Get(AdvertiserId i,
                                            const BidsTable& bids,
                                            int num_slots) {
@@ -331,14 +335,14 @@ const CompiledBids& CompiledBidsCache::Get(AdvertiserId i,
   const uint64_t fingerprint = FingerprintBids(bids);
   if (entry.valid && entry.fingerprint == fingerprint &&
       entry.num_slots == num_slots) {
-    ++hits_;
+    ++entry.hits;
     return entry.compiled;
   }
-  ++misses_;
+  ++entry.misses;
   if (entry.expected) {
     if (entry.expected_fingerprint == fingerprint &&
         entry.expected_num_slots == num_slots) {
-      ++verified_recompiles_;
+      ++entry.verified;
     }
     entry.expected = false;  // one verification shot per restore
   }
@@ -347,6 +351,38 @@ const CompiledBids& CompiledBidsCache::Get(AdvertiserId i,
   entry.num_slots = num_slots;
   entry.valid = true;
   return entry.compiled;
+}
+
+int64_t CompiledBidsCache::hits() const {
+  return HitsInRange(0, static_cast<AdvertiserId>(entries_.size()));
+}
+
+int64_t CompiledBidsCache::misses() const {
+  return MissesInRange(0, static_cast<AdvertiserId>(entries_.size()));
+}
+
+int64_t CompiledBidsCache::HitsInRange(AdvertiserId begin,
+                                       AdvertiserId end) const {
+  SSA_CHECK(begin >= 0 && begin <= end &&
+            static_cast<size_t>(end) <= entries_.size());
+  int64_t total = 0;
+  for (AdvertiserId i = begin; i < end; ++i) total += entries_[i].hits;
+  return total;
+}
+
+int64_t CompiledBidsCache::MissesInRange(AdvertiserId begin,
+                                         AdvertiserId end) const {
+  SSA_CHECK(begin >= 0 && begin <= end &&
+            static_cast<size_t>(end) <= entries_.size());
+  int64_t total = 0;
+  for (AdvertiserId i = begin; i < end; ++i) total += entries_[i].misses;
+  return total;
+}
+
+int64_t CompiledBidsCache::verified_recompiles() const {
+  int64_t total = 0;
+  for (const Entry& entry : entries_) total += entry.verified;
+  return total;
 }
 
 std::vector<CompiledBidsCache::KeySnapshot> CompiledBidsCache::ExportKeys()

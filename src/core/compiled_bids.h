@@ -108,19 +108,38 @@ uint64_t FingerprintBids(const BidsTable& bids);
 
 /// Per-advertiser cache of compiled bids keyed on content fingerprint —
 /// AuctionEngine keeps one across auctions so unchanged tables are never
-/// recompiled.
+/// recompiled. Entries are keyed by *global* advertiser id: a sharded
+/// engine's planning lane shares one cache across its shards, so moving a
+/// shard boundary (Repartition) never invalidates a compilation — the entry
+/// simply gets probed by a different shard's task.
+///
+/// Threading: Get(i, ...) mutates only entry i (hit/miss counters included —
+/// there is deliberately no cache-wide mutable state on the Get path), so
+/// concurrent Gets for *distinct* ids are race-free **provided the entries
+/// already exist** — call Reserve(population) up front; an unreserved Get
+/// grows the deque, which must stay single-threaded.
 class CompiledBidsCache {
  public:
-  /// Returns the compiled form of `bids` for advertiser slot `i`, reusing
-  /// the cached compilation when fingerprint and num_slots both match. The
+  /// Pre-creates entries [0, n) so concurrent Get calls on distinct ids
+  /// never reshape the container. Idempotent; never shrinks.
+  void Reserve(size_t n);
+
+  /// Returns the compiled form of `bids` for advertiser `i`, reusing the
+  /// cached compilation when fingerprint and num_slots both match. The
   /// returned reference stays valid until the next Get(i, ...) call *for the
   /// same advertiser* (entries live in a deque, so growing the cache for
   /// other advertisers never moves them).
   const CompiledBids& Get(AdvertiserId i, const BidsTable& bids,
                           int num_slots);
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  /// Counter sums over every entry (per-entry counters keep the Get path
+  /// free of shared mutable state; summing is O(entries), fine for
+  /// telemetry).
+  int64_t hits() const;
+  int64_t misses() const;
+  /// Per-range sums — per-shard observability under global keying.
+  int64_t HitsInRange(AdvertiserId begin, AdvertiserId end) const;
+  int64_t MissesInRange(AdvertiserId begin, AdvertiserId end) const;
 
   /// One cached entry's identity, without its compiled payload — what engine
   /// checkpoints persist. Compilations are pure functions of (table,
@@ -144,7 +163,7 @@ class CompiledBidsCache {
   void PrimeExpectedKeys(const std::vector<KeySnapshot>& keys);
 
   /// Post-restore recompilations whose fingerprint matched the primed key.
-  int64_t verified_recompiles() const { return verified_recompiles_; }
+  int64_t verified_recompiles() const;
 
  private:
   struct Entry {
@@ -155,12 +174,14 @@ class CompiledBidsCache {
     bool expected = false;
     uint64_t expected_fingerprint = 0;
     int expected_num_slots = -1;
+    /// Per-entry counters: Get touches only its own entry, which is what
+    /// makes disjoint-id concurrent lookups race-free.
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t verified = 0;
     CompiledBids compiled;
   };
   std::deque<Entry> entries_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t verified_recompiles_ = 0;
 };
 
 }  // namespace ssa

@@ -36,7 +36,8 @@ AuctionServer::AuctionServer(
     const ServerConfig& config, Workload workload,
     std::vector<std::unique_ptr<BiddingStrategy>> strategies)
     : config_(config),
-      engine_(config.engine, std::move(workload), std::move(strategies)) {
+      engine_(config.engine, std::move(workload), std::move(strategies)),
+      rebalancer_(config.rebalance) {
   SSA_CHECK(config_.queue_capacity >= 1);
   SSA_CHECK(config_.max_batch_size >= 1);
   if (config_.queue_impl == QueueImpl::kLockFree) {
@@ -225,6 +226,18 @@ void AuctionServer::ExecutorLoop() {
             : PopBatchLockFree(&batch);
     if (!alive) return;  // closed and drained
     RunBatch(&batch);
+    // Epoch boundary: the batch is fully settled and every lane is idle (the
+    // settler awaited each slot), so no plan or capture is in flight —
+    // exactly Repartition's precondition. Never inside a batch.
+    MaybeRebalance();
+  }
+}
+
+void AuctionServer::MaybeRebalance() {
+  if (config_.rebalance.every <= 0) return;
+  if (!rebalancer_.Due(engine_.auctions_run())) return;
+  if (engine_.RebalanceShards(config_.rebalance.min_imbalance)) {
+    rebalances_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -106,6 +106,15 @@ struct ServerConfig {
   /// executor settles earlier slots of the same batch, which is where the
   /// throughput shows up on multi-core hosts.
   int num_plan_lanes = 0;
+  /// Cost-model-driven shard rebalancing, honored only at epoch boundaries:
+  /// after a micro-batch fully settles and before the next batch's first
+  /// capture — the only points where no plan is in flight on any lane, which
+  /// is Repartition's concurrency precondition. Off by default (`every` is
+  /// overridden to 0 here); set `every` > 0 to rebalance when due and the
+  /// predicted imbalance is at least `min_imbalance`. Rebalancing moves
+  /// shard boundaries only — under kDeterministicReplay the trajectory stays
+  /// bitwise-equal to the serial engine (serving_test pins this).
+  ShardRebalancerOptions rebalance{/*every=*/0};
   DurabilityConfig durability;
 };
 
@@ -190,6 +199,10 @@ class AuctionServer {
     return completed_.load(std::memory_order_relaxed);
   }
   int64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  /// Epoch-boundary rebalances that actually moved a shard boundary.
+  int64_t rebalances() const {
+    return rebalances_.load(std::memory_order_relaxed);
+  }
 
   /// The served engine (read after Stop() for settled accounts/revenue).
   const ShardedAuctionEngine& engine() const { return engine_; }
@@ -228,9 +241,14 @@ class AuctionServer {
   void RunLane(int lane, int64_t slot);
   /// Settles epoch slot `i` of `batch` (histograms, log, completion hook).
   void SettleSlot(std::vector<ServingRequest>* batch, size_t i);
+  /// Epoch-boundary rebalance check: runs between RunBatch calls (batch
+  /// fully settled, every lane idle), asks the rebalancer whether a check is
+  /// due, and applies RebalanceShards under config.rebalance.min_imbalance.
+  void MaybeRebalance();
 
   ServerConfig config_;
   ShardedAuctionEngine engine_;
+  ShardRebalancer rebalancer_;
   std::unique_ptr<BoundedQueue<ServingRequest>> locking_queue_;
   std::unique_ptr<MpmcRingQueue<ServingRequest>> ring_;
   std::atomic<bool> ring_closed_{false};
@@ -262,6 +280,7 @@ class AuctionServer {
   LatencyHistogram end_to_end_us_;
   std::atomic<int64_t> completed_{0};
   std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> rebalances_{0};
 
   /// Batched-settlement scratch: one plan per in-flight batch slot.
   std::vector<ShardedAuctionEngine::PlannedAuction> plans_;

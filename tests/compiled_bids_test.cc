@@ -293,6 +293,63 @@ TEST(CompiledBidsCacheTest, HitsOnUnchangedContentMissesOnChange) {
   EXPECT_EQ(cache.hits(), 2);
 }
 
+TEST(CompiledBidsCacheTest, RangeCountersPartitionTheTotals) {
+  // Global-id keying keeps per-shard observability through range sums: any
+  // contiguous partition of [0, n) must add back up to the cache totals.
+  CompiledBidsCache cache;
+  cache.Reserve(6);
+  BidsTable bids;
+  bids.AddBid(Formula::Click(), 2);
+  for (AdvertiserId i = 0; i < 6; ++i) cache.Get(i, bids, 3);     // 6 misses
+  for (AdvertiserId i = 0; i < 4; ++i) cache.Get(i, bids, 3);     // 4 hits
+  EXPECT_EQ(cache.misses(), 6);
+  EXPECT_EQ(cache.hits(), 4);
+  EXPECT_EQ(cache.MissesInRange(0, 2) + cache.MissesInRange(2, 6), 6);
+  EXPECT_EQ(cache.HitsInRange(0, 2) + cache.HitsInRange(2, 6), 4);
+  EXPECT_EQ(cache.HitsInRange(4, 6), 0);
+}
+
+TEST(CompiledBidsCacheTest, FingerprintIdenticalRecompileIsVerifiedAndEqual) {
+  // The checkpoint contract: a restored engine re-runs its strategies, and a
+  // table whose fingerprint matches the checkpointed key must recompile to
+  // the *identical* compiled form (compilation is a pure function of
+  // (table, num_slots)) — counted as a verified recompile.
+  const int k = 5;
+  Rng rng(20260808);
+  CompiledBidsCache original;
+  std::vector<BidsTable> tables;
+  for (AdvertiserId i = 0; i < 8; ++i) {
+    tables.push_back(RandomTable(rng, k, /*allow_heavy=*/false));
+    original.Get(i, tables.back(), k);
+  }
+
+  CompiledBidsCache restored;
+  restored.Reserve(8);
+  restored.PrimeExpectedKeys(original.ExportKeys());
+  EXPECT_EQ(restored.verified_recompiles(), 0);
+  for (AdvertiserId i = 0; i < 8; ++i) {
+    // "Re-emitted" table with identical content, rebuilt from scratch.
+    BidsTable reemitted = tables[static_cast<size_t>(i)];
+    ASSERT_EQ(FingerprintBids(reemitted),
+              FingerprintBids(tables[static_cast<size_t>(i)]));
+    const CompiledBids& recompiled = restored.Get(i, reemitted, k);
+    const CompiledBids& first =
+        original.Get(i, tables[static_cast<size_t>(i)], k);
+    // Identical compiled tables, bit for bit: row values and every slot
+    // state's mask column.
+    ASSERT_EQ(recompiled.num_rows(), first.num_rows());
+    for (size_t r = 0; r < first.num_rows(); ++r) {
+      EXPECT_EQ(recompiled.values()[r], first.values()[r]);
+    }
+    for (SlotIndex slot = kNoSlot; slot < k; ++slot) {
+      const uint8_t* a = first.MasksForSlot(slot);
+      const uint8_t* b = recompiled.MasksForSlot(slot);
+      for (size_t r = 0; r < first.num_rows(); ++r) EXPECT_EQ(a[r], b[r]);
+    }
+  }
+  EXPECT_EQ(restored.verified_recompiles(), 8);
+}
+
 TEST(CompiledBidsCacheTest, EntriesStableAcrossCacheGrowth) {
   // The engine collects one pointer per advertiser while the cache grows;
   // earlier entries must not move (deque storage).

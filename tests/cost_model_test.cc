@@ -1,0 +1,186 @@
+// CostModel / ShardRebalancer unit behavior: EWMA folding, row-proportional
+// attribution, the prefix-sum balanced partition, and the imbalance metric —
+// the pieces cost-driven rebalancing composes from. Engine-level effects
+// (bitwise identity under Repartition, gap reduction under skew) live in
+// sharded_engine_test and bench_sharded.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "auction/cost_model.h"
+#include "core/bids_table.h"
+
+namespace ssa {
+namespace {
+
+/// A captured population where advertiser i emitted `rows[i]` bid rows.
+std::vector<BidsTable> BidsWithRows(const std::vector<int>& rows) {
+  std::vector<BidsTable> bids(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (int r = 0; r < rows[i]; ++r) {
+      bids[i].AddBid(Formula::True(), 1.0);
+    }
+  }
+  return bids;
+}
+
+TEST(CostModelTest, AttributesRangeTimeProportionallyToRows) {
+  CostModelOptions options;
+  options.decay = 0.0;  // cost == last sample, no history
+  options.base_weight = 0.0;
+  CostModel model(4, options);
+  const auto bids = BidsWithRows({1, 3, 0, 4});
+  model.RecordRangeSample(0, 4, bids, /*range_ns=*/800.0);
+  // 8 rows over 800ns => 100ns per row.
+  EXPECT_DOUBLE_EQ(model.cost(0), 100.0);
+  EXPECT_DOUBLE_EQ(model.cost(1), 300.0);
+  EXPECT_DOUBLE_EQ(model.cost(2), 0.0);
+  EXPECT_DOUBLE_EQ(model.cost(3), 400.0);
+  EXPECT_DOUBLE_EQ(model.TotalCost(), 800.0);
+  EXPECT_DOUBLE_EQ(model.RangeCost(1, 3), 300.0);
+}
+
+TEST(CostModelTest, BaseWeightCoversEmptyTables) {
+  CostModelOptions options;
+  options.decay = 0.0;
+  options.base_weight = 1.0;
+  CostModel model(2, options);
+  const auto bids = BidsWithRows({0, 0});
+  model.RecordRangeSample(0, 2, bids, 100.0);
+  // Even advertisers that emitted nothing carry their fixed overhead.
+  EXPECT_DOUBLE_EQ(model.cost(0), 50.0);
+  EXPECT_DOUBLE_EQ(model.cost(1), 50.0);
+}
+
+TEST(CostModelTest, EwmaDecaysOldSamples) {
+  CostModelOptions options;
+  options.decay = 0.5;
+  options.base_weight = 0.0;
+  CostModel model(1, options);
+  const auto bids = BidsWithRows({2});
+  model.RecordRangeSample(0, 1, bids, 100.0);
+  EXPECT_DOUBLE_EQ(model.cost(0), 50.0);  // 0.5*0 + 0.5*100
+  model.RecordRangeSample(0, 1, bids, 100.0);
+  EXPECT_DOUBLE_EQ(model.cost(0), 75.0);  // 0.5*50 + 0.5*100
+  // A workload shift shows up geometrically fast. A span below clock
+  // resolution (0 ns) is floored at 1 ns so the signal never pins at zero.
+  model.RecordRangeSample(0, 1, bids, 0.0);
+  EXPECT_DOUBLE_EQ(model.cost(0), 38.0);  // 0.5*75 + 0.5*1
+}
+
+TEST(CostModelTest, SubResolutionSpansStillCarryRowSignal) {
+  // On coarse clocks every capture span can read 0; the 1ns floor keeps the
+  // model row-proportional instead of all-zero, so the rebalancer still
+  // sees the skew.
+  CostModelOptions options;
+  options.decay = 0.0;
+  options.base_weight = 0.0;
+  CostModel model(2, options);
+  const auto bids = BidsWithRows({1, 3});
+  model.RecordRangeSample(0, 2, bids, 0.0);
+  EXPECT_GT(model.cost(1), model.cost(0));
+  EXPECT_DOUBLE_EQ(model.TotalCost(), 1.0);
+}
+
+TEST(CostModelTest, DisjointRangesCoverPopulationIndependently) {
+  CostModelOptions options;
+  options.decay = 0.0;
+  options.base_weight = 0.0;
+  CostModel model(4, options);
+  const auto bids = BidsWithRows({1, 1, 1, 1});
+  // Two shards of one auction record their own spans.
+  model.RecordRangeSample(0, 2, bids, 200.0);
+  model.RecordRangeSample(2, 4, bids, 600.0);
+  model.NoteAuction();
+  EXPECT_DOUBLE_EQ(model.cost(0), 100.0);
+  EXPECT_DOUBLE_EQ(model.cost(3), 300.0);
+  EXPECT_EQ(model.auctions_sampled(), 1);
+}
+
+TEST(ShardRebalancerTest, UniformSplitWithoutSignal) {
+  const std::vector<double> costs(8, 0.0);
+  const auto ranges = ShardRebalancer::ComputeBalancedRanges(costs, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(ranges[s].begin, 2 * s);
+    EXPECT_EQ(ranges[s].end, 2 * s + 2);
+  }
+}
+
+TEST(ShardRebalancerTest, BalancesSkewedCosts) {
+  // One hot advertiser dominating: it should end up nearly alone.
+  std::vector<double> costs(8, 1.0);
+  costs[0] = 100.0;
+  const auto ranges = ShardRebalancer::ComputeBalancedRanges(costs, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges[0].begin, 0);
+  EXPECT_EQ(ranges[0].end, 1);  // the hot advertiser alone
+  EXPECT_EQ(ranges.back().end, 8);
+  // The balanced layout must not be *worse* than uniform.
+  std::vector<ShardRange> uniform;
+  for (int s = 0; s < 4; ++s) {
+    uniform.push_back(ShardRange{2 * s, 2 * s + 2});
+  }
+  EXPECT_LE(ShardRebalancer::PredictedImbalance(costs, ranges),
+            ShardRebalancer::PredictedImbalance(costs, uniform));
+}
+
+TEST(ShardRebalancerTest, PartitionIsAlwaysValid) {
+  // Adversarial cost vectors must still yield contiguous, non-empty,
+  // covering partitions for every shard count.
+  const std::vector<std::vector<double>> vectors = {
+      {0, 0, 0, 0, 0, 1000},       // all cost at the end
+      {1000, 0, 0, 0, 0, 0},       // all cost at the front
+      {1, 1, 1, 1, 1, 1},          // flat
+      {100, 1, 100, 1, 100, 1},    // alternating
+  };
+  for (const auto& costs : vectors) {
+    for (int k = 1; k <= 6; ++k) {
+      const auto ranges = ShardRebalancer::ComputeBalancedRanges(costs, k);
+      ASSERT_EQ(ranges.size(), static_cast<size_t>(k));
+      AdvertiserId next = 0;
+      for (const ShardRange& range : ranges) {
+        EXPECT_EQ(range.begin, next);
+        EXPECT_LT(range.begin, range.end);
+        next = range.end;
+      }
+      EXPECT_EQ(next, static_cast<AdvertiserId>(costs.size()));
+    }
+  }
+}
+
+TEST(ShardRebalancerTest, ClampsShardCountToPopulation) {
+  const std::vector<double> costs = {5.0, 3.0};
+  const auto ranges = ShardRebalancer::ComputeBalancedRanges(costs, 7);
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0].begin, 0);
+  EXPECT_EQ(ranges[1].end, 2);
+}
+
+TEST(ShardRebalancerTest, PredictedImbalanceIsMaxOverMean) {
+  const std::vector<double> costs = {3.0, 1.0, 1.0, 1.0};
+  const std::vector<ShardRange> ranges = {{0, 2}, {2, 4}};  // 4 vs 2
+  EXPECT_DOUBLE_EQ(ShardRebalancer::PredictedImbalance(costs, ranges),
+                   4.0 / 3.0);
+  const std::vector<ShardRange> balanced = {{0, 1}, {1, 4}};  // 3 vs 3
+  EXPECT_DOUBLE_EQ(ShardRebalancer::PredictedImbalance(costs, balanced), 1.0);
+}
+
+TEST(ShardRebalancerTest, DueHonorsPeriodAndDisable) {
+  ShardRebalancerOptions options;
+  options.every = 10;
+  ShardRebalancer rebalancer(options);
+  EXPECT_FALSE(rebalancer.Due(5));
+  EXPECT_TRUE(rebalancer.Due(10));
+  EXPECT_FALSE(rebalancer.Due(15));  // period restarts at the due point
+  EXPECT_TRUE(rebalancer.Due(21));
+
+  ShardRebalancerOptions off;
+  off.every = 0;
+  ShardRebalancer disabled(off);
+  EXPECT_FALSE(disabled.Due(1000000));
+}
+
+}  // namespace
+}  // namespace ssa

@@ -112,6 +112,7 @@ struct ReplayParam {
   QueueImpl queue_impl = QueueImpl::kLocking;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   int num_plan_lanes = 0;  // 0 = in-thread planning
+  int64_t rebalance_every = 0;  // 0 = epoch-boundary rebalancing off
 };
 
 void RunReplayEquivalence(const ReplayParam& param) {
@@ -144,6 +145,10 @@ void RunReplayEquivalence(const ReplayParam& param) {
   config.batch_deadline = microseconds(100);
   config.mode = ServingMode::kDeterministicReplay;
   config.num_plan_lanes = param.num_plan_lanes;
+  config.rebalance.every = param.rebalance_every;
+  // Move boundaries on any measured imbalance: maximal churn, so the
+  // equivalence check exercises as many repartitions as possible.
+  config.rebalance.min_imbalance = 1.0;
 
   std::vector<AdvertiserAccount> accounts;
   Money total_revenue = 0;
@@ -225,6 +230,69 @@ TEST(ServingLaneReplayTest, LanesComposeWithCapturePoolAndTreeMerge) {
   param.pool_threads = 3;
   param.num_plan_lanes = 4;
   RunReplayEquivalence(param);
+}
+
+TEST(ServingRebalanceTest, ReplayMatrixStaysBitwiseWithRebalancingEnabled) {
+  // The serving half of the rebalancing contract: with epoch-boundary
+  // rebalancing churning the shard layout mid-stream (every 8 auctions, any
+  // imbalance), deterministic replay must stay bitwise-equal to the serial
+  // engine — across lane counts and both queue implementations. Rebalancing
+  // may move work between shards, never values.
+  for (int lanes : {0, 2, 4}) {
+    for (QueueImpl queue : {QueueImpl::kLocking, QueueImpl::kLockFree}) {
+      SCOPED_TRACE("lanes=" + std::to_string(lanes) + " queue=" +
+                   (queue == QueueImpl::kLocking ? "locking" : "lockfree"));
+      ReplayParam param;
+      param.max_batch = 8;
+      param.num_shards = 4;
+      param.queue_impl = queue;
+      param.backpressure = queue == QueueImpl::kLockFree
+                               ? BackpressurePolicy::kReject
+                               : BackpressurePolicy::kBlock;
+      param.num_plan_lanes = lanes;
+      param.rebalance_every = 8;
+      RunReplayEquivalence(param);
+    }
+  }
+}
+
+TEST(ServingRebalanceTest, RebalanceKeepsValidPartitionAndFeedsCostModel) {
+  Workload w = MakePaperWorkload(SmallConfig(113));
+  const int num_queries = 100;
+  const std::vector<Query> queries =
+      MakeQuerySequence(num_queries, w.config.num_keywords, 127);
+  ServerConfig config;
+  config.engine.engine.seed = 127;
+  config.engine.num_shards = 4;
+  config.max_batch_size = 4;
+  config.rebalance.every = 4;
+  config.rebalance.min_imbalance = 1.0;
+  AuctionServer server(config, std::move(w), [] {
+    Workload tmp = MakePaperWorkload(SmallConfig(113));
+    return RoiStrategies(tmp);
+  }());
+  server.Start();
+  for (const Query& q : queries) {
+    ASSERT_EQ(server.Submit(q), QueuePushResult::kAccepted);
+  }
+  server.Stop();
+  EXPECT_EQ(server.completed(), num_queries);
+  // Whatever the rebalancer did, the layout must still be a contiguous
+  // cover of the population with the configured shard count.
+  const auto& ranges = server.engine().shard_ranges();
+  ASSERT_EQ(ranges.size(), 4u);
+  AdvertiserId next = 0;
+  for (const ShardRange& range : ranges) {
+    EXPECT_EQ(range.begin, next);
+    EXPECT_LT(range.begin, range.end);
+    next = range.end;
+  }
+  EXPECT_EQ(next, 40);
+  // The cost model saw every served auction, and the rebalance counter
+  // never exceeds the number of due checks.
+  EXPECT_EQ(server.engine().cost_model().auctions_sampled(), num_queries);
+  EXPECT_LE(server.rebalances(), num_queries / 4);
+  EXPECT_GE(server.rebalances(), 0);
 }
 
 /// Serves `queries` with every submission admitted *before* Start(): batch
