@@ -57,12 +57,14 @@ ShardedAuctionEngine::NewPlanLane() const {
   return lane;
 }
 
-void ShardedAuctionEngine::CaptureBids(const Query& query,
-                                       CapturedBids* bids) {
+void ShardedAuctionEngine::CaptureBids(const Query& query, CapturedBids* bids,
+                                       uint64_t trace_seq) {
   const int n = static_cast<int>(strategies_.size());
   bids->resize(n);
+  const bool traced = tracer_ != nullptr && trace_seq != 0;
   auto capture_range = [&](int s) {
     const ShardRange& range = ranges_[static_cast<size_t>(s)];
+    const uint64_t t0 = traced ? Tracer::NowNs() : 0;
     WallTimer timer;
     for (AdvertiserId i = range.begin; i < range.end; ++i) {
       BidsTable& table = (*bids)[i];
@@ -76,6 +78,10 @@ void ShardedAuctionEngine::CaptureBids(const Query& query,
     const double span_ns = timer.ElapsedSeconds() * 1e9;
     cost_model_.RecordRangeSample(range.begin, range.end, *bids, span_ns);
     capture_ns_[static_cast<size_t>(s)] += static_cast<int64_t>(span_ns);
+    if (traced) {
+      tracer_->RecordSpan(trace_seq, TraceStage::kShardCapture, 100 + s, t0,
+                          Tracer::NowNs());
+    }
   };
   const int num_shards = static_cast<int>(ranges_.size());
   if (config_.pool != nullptr && num_shards > 1) {
@@ -191,8 +197,8 @@ const AuctionOutcome& ShardedAuctionEngine::RunAuctionOn(const Query& query) {
 
 void ShardedAuctionEngine::PlanCaptured(const Query& query,
                                         const CapturedBids& bids,
-                                        PlanLane* lane,
-                                        PlannedAuction* plan) const {
+                                        PlanLane* lane, PlannedAuction* plan,
+                                        uint64_t trace_seq) const {
   const int n = static_cast<int>(strategies_.size());
   const int k = workload_.config.num_slots;
   const ClickModel& model = *workload_.click_model;
@@ -216,16 +222,20 @@ void ShardedAuctionEngine::PlanCaptured(const Query& query,
   const bool reduced =
       config_.engine.wd_method == WdMethod::kReducedHungarian;
   const int num_shards = static_cast<int>(ranges_.size());
-  if (lane->pool != nullptr && num_shards > 1) {
-    lane->pool->ParallelFor(num_shards, [&](int s) {
-      RunShardPhase(ranges_[s], &lane->cache, &lane->shards[s], bids,
-                    &revenue, reduced);
-    });
-  } else {
-    for (int s = 0; s < num_shards; ++s) {
-      RunShardPhase(ranges_[s], &lane->cache, &lane->shards[s], bids,
-                    &revenue, reduced);
+  const bool traced = tracer_ != nullptr && trace_seq != 0;
+  auto plan_shard = [&](int s) {
+    const uint64_t t0 = traced ? Tracer::NowNs() : 0;
+    RunShardPhase(ranges_[s], &lane->cache, &lane->shards[s], bids, &revenue,
+                  reduced);
+    if (traced) {
+      tracer_->RecordSpan(trace_seq, TraceStage::kShardPlan,
+                          lane->trace_track_base + s, t0, Tracer::NowNs());
     }
+  };
+  if (lane->pool != nullptr && num_shards > 1) {
+    lane->pool->ParallelFor(num_shards, plan_shard);
+  } else {
+    for (int s = 0; s < num_shards; ++s) plan_shard(s);
   }
   plan->outcome.program_eval_ms = timer.ElapsedMillis();
 
@@ -248,14 +258,16 @@ void ShardedAuctionEngine::PlanCaptured(const Query& query,
 }
 
 void ShardedAuctionEngine::PlanAuction(const Query& query,
-                                       PlannedAuction* plan) {
+                                       PlannedAuction* plan,
+                                       uint64_t trace_seq) {
   // Capture (Step 3, order-dependent) then plan on the internal lane. The
   // reported program_eval_ms spans both halves, matching the fused phase the
   // pre-lane engine timed.
   WallTimer timer;
-  CaptureBids(query, &capture_scratch_);
+  CaptureBids(query, &capture_scratch_, trace_seq);
   const double capture_ms = timer.ElapsedMillis();
-  PlanCaptured(query, capture_scratch_, internal_lane_.get(), plan);
+  PlanCaptured(query, capture_scratch_, internal_lane_.get(), plan,
+               trace_seq);
   plan->outcome.program_eval_ms += capture_ms;
 }
 
@@ -317,6 +329,14 @@ Status ShardedAuctionEngine::Repartition(
   capture_ns_.assign(ranges_.size(), 0);
   internal_lane_->shards.clear();
   internal_lane_->shards.resize(ranges_.size());
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // Instant repartition marker on the executor track (rebalances run only
+    // between epochs, so this never races a plan's shard spans). Sequenced
+    // by auction count so successive layout changes stay distinguishable.
+    const uint64_t now = Tracer::NowNs();
+    tracer_->RecordSpan(static_cast<uint64_t>(auctions_run_) + 1,
+                        TraceStage::kRepartition, 0, now, now);
+  }
   return Status::Ok();
 }
 

@@ -13,6 +13,7 @@
 #include "core/compiled_bids.h"
 #include "core/expected_revenue.h"
 #include "core/winner_determination.h"
+#include "obs/trace.h"
 #include "strategy/strategy.h"
 #include "util/common.h"
 #include "util/topk_heap.h"
@@ -128,6 +129,12 @@ class ShardedAuctionEngine {
     int64_t cache_hits() const { return cache.hits(); }
     int64_t cache_misses() const { return cache.misses(); }
 
+    /// Trace track base for kShardPlan spans planned on this lane (shard s
+    /// renders on track `base + s`). The serving executor assigns each
+    /// external lane `200 + 100 * (lane_index + 1)`; the engine's internal
+    /// lane keeps the default 200.
+    void set_trace_track_base(int32_t base) { trace_track_base = base; }
+
    private:
     friend class ShardedAuctionEngine;
     struct ShardScratch {
@@ -148,6 +155,7 @@ class ShardedAuctionEngine {
     /// their shard phase sequentially (nullptr) — cross-query lane
     /// parallelism replaces intra-query shard parallelism.
     ThreadPool* pool = nullptr;
+    int32_t trace_track_base = 200;
   };
 
   /// Creates an independent planning lane (shard phase runs sequentially
@@ -163,7 +171,14 @@ class ShardedAuctionEngine {
   /// thread, strictly in arrival order, with no settlement in flight —
   /// MakeBids may mutate strategy-private state, which is exactly the
   /// per-query sequential dependency that cannot parallelize.
-  void CaptureBids(const Query& query, CapturedBids* bids);
+  ///
+  /// `trace_seq` (here and on PlanCaptured/PlanAuction) is the serving
+  /// layer's sampled trace sequence: nonzero stamps per-shard spans into the
+  /// attached tracer; 0 (the default, and every pre-obs call site) records
+  /// nothing. Tracing only reads clocks and writes the span ring, so values
+  /// are bitwise-unaffected at any sampling rate.
+  void CaptureBids(const Query& query, CapturedBids* bids,
+                   uint64_t trace_seq = 0);
 
   /// The pure half of planning: compiles `bids` (via the lane's caches),
   /// fills the lane's revenue matrix, merges per-shard candidates, solves
@@ -172,7 +187,8 @@ class ShardedAuctionEngine {
   /// distinct lanes are safe, and the result is a pure function of
   /// (query, bids, engine config) — bitwise-identical for any lane.
   void PlanCaptured(const Query& query, const CapturedBids& bids,
-                    PlanLane* lane, PlannedAuction* plan) const;
+                    PlanLane* lane, PlannedAuction* plan,
+                    uint64_t trace_seq = 0) const;
 
   /// Phases 3/4/6-prep on `query` against the *current* account state:
   /// CaptureBids + PlanCaptured on the engine's internal lane (whose shard
@@ -181,7 +197,8 @@ class ShardedAuctionEngine {
   /// outcome state and the user RNG are untouched, so planning is
   /// side-effect-free w.r.t. the auction trajectory until the plan is
   /// settled.
-  void PlanAuction(const Query& query, PlannedAuction* plan);
+  void PlanAuction(const Query& query, PlannedAuction* plan,
+                   uint64_t trace_seq = 0);
 
   /// Step 5/6 for a planned auction: simulates user actions (advancing the
   /// user RNG in plan order), charges winners, updates accounts, delivers
@@ -207,6 +224,12 @@ class ShardedAuctionEngine {
   /// path included — so it tracks the live query mix in any mode. Read only
   /// while no capture is in flight.
   const CostModel& cost_model() const { return cost_model_; }
+
+  /// Attaches a span tracer (not owned; null detaches). Per-shard capture
+  /// and plan slices of queries with a nonzero trace_seq are recorded into
+  /// it, as are Repartition events. Set before any capture/plan is in
+  /// flight; the tracer must outlive the engine's use of it.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   /// Replaces the shard layout with `ranges` — contiguous, non-empty,
   /// covering exactly [0, n) in order (the shard *count* may change).
@@ -294,6 +317,8 @@ class ShardedAuctionEngine {
 
   ShardedEngineConfig config_;
   Workload workload_;
+  /// Span sink for per-shard capture/plan slices (not owned; null = off).
+  Tracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<BiddingStrategy>> strategies_;
   QueryGenerator query_gen_;
   Rng user_rng_;

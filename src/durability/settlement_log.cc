@@ -179,6 +179,9 @@ Status SettlementLogWriter::Flush() {
 
 Status SettlementLogWriter::CommitPending(bool force_sync) {
   if (pending_.empty()) return Status::Ok();
+  if (options_.commit_records != nullptr) {
+    options_.commit_records->Record(pending_records_);
+  }
   size_t written = 0;
   while (written < pending_.size()) {
     const ssize_t n =
@@ -194,10 +197,25 @@ Status SettlementLogWriter::CommitPending(bool force_sync) {
   pending_records_ = 0;
   ++commits_;
   if (force_sync || options_.sync == LogSyncMode::kGroupFsync) {
+    const bool timed =
+        options_.fsync_us != nullptr || options_.tracer != nullptr;
+    const uint64_t t0 = timed ? Tracer::NowNs() : 0;
     if (::fsync(fd_) != 0) {
       return Status::Internal("fsync " + path_ + ": " + std::strerror(errno));
     }
     ++syncs_;
+    if (timed) {
+      const uint64_t t1 = Tracer::NowNs();
+      if (options_.fsync_us != nullptr) {
+        options_.fsync_us->Record((t1 - t0) / 1000);
+      }
+      if (options_.tracer != nullptr && options_.tracer->enabled()) {
+        // The group fsync covers every record staged since the last commit;
+        // stamp it with the last committed seq (next_seq_ - 1 >= 1).
+        options_.tracer->RecordSpan(next_seq_ - 1, TraceStage::kLogFsync,
+                                    /*track=*/0, t0, t1);
+      }
+    }
   }
   return Status::Ok();
 }

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "auction/auction_engine.h"
+#include "obs/trace.h"
+#include "util/histogram.h"
 #include "util/status.h"
 
 namespace ssa {
@@ -84,6 +86,16 @@ struct LogWriterOptions {
   LogSyncMode sync = LogSyncMode::kBuffered;
   /// Commit threshold in records for the buffered/group-fsync modes.
   size_t group_records = 32;
+
+  // --- Observability sinks (not owned; null = off). The writer stays
+  // single-threaded; the histograms are wait-free, so a metrics snapshot may
+  // read them while the executor commits.
+  /// fsync latency per sync, microseconds.
+  LatencyHistogram* fsync_us = nullptr;
+  /// Records per group commit (the group-size distribution).
+  LatencyHistogram* commit_records = nullptr;
+  /// kLogFsync spans (one per fsync, stamped with the last committed seq).
+  Tracer* tracer = nullptr;
 };
 
 /// Append-only settlement-log writer: length-prefixed, CRC32-checksummed

@@ -1,0 +1,323 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+#include "util/common.h"
+
+namespace ssa {
+namespace {
+
+std::string Key(const std::string& name, const std::string& labels) {
+  return name + "\x01" + labels;
+}
+
+// Prometheus sample line: name{labels} value.
+void AppendSample(std::string* out, const std::string& name,
+                  const std::string& labels, double value) {
+  out->append(name);
+  if (!labels.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    out->push_back('}');
+  }
+  char buf[64];
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::abs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), " %" PRId64,
+                  static_cast<int64_t>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), " %.17g", value);
+  }
+  out->append(buf);
+  out->push_back('\n');
+}
+
+// Histogram bucket line: name_bucket{labels,le="..."} cumulative_count.
+void AppendBucket(std::string* out, const std::string& name,
+                  const std::string& labels, const std::string& le,
+                  uint64_t cumulative) {
+  out->append(name);
+  out->append("_bucket{");
+  if (!labels.empty()) {
+    out->append(labels);
+    out->push_back(',');
+  }
+  out->append("le=\"");
+  out->append(le);
+  out->append("\"}");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", cumulative);
+  out->append(buf);
+}
+
+void AppendHeader(std::string* out, const std::string& name,
+                  const std::string& help, const char* type) {
+  if (!help.empty()) {
+    out->append("# HELP ");
+    out->append(name);
+    out->push_back(' ');
+    out->append(help);
+    out->push_back('\n');
+  }
+  out->append("# TYPE ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+void JsonEscape(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+std::string DisplayName(const std::string& name, const std::string& labels) {
+  return labels.empty() ? name : name + "{" + labels + "}";
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& labels,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = Key(name, labels);
+  auto it = counter_index_.find(key);
+  if (it != counter_index_.end()) return &counters_[it->second].instrument;
+  RecordHelp(name, help);
+  counter_index_[key] = counters_.size();
+  counters_.emplace_back();
+  counters_.back().name = name;
+  counters_.back().labels = labels;
+  return &counters_.back().instrument;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& labels,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = Key(name, labels);
+  auto it = gauge_index_.find(key);
+  if (it != gauge_index_.end()) return &gauges_[it->second].instrument;
+  RecordHelp(name, help);
+  gauge_index_[key] = gauges_.size();
+  gauges_.emplace_back();
+  gauges_.back().name = name;
+  gauges_.back().labels = labels;
+  return &gauges_.back().instrument;
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                                const std::string& labels,
+                                                const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = Key(name, labels);
+  auto it = histogram_index_.find(key);
+  if (it != histogram_index_.end()) {
+    HistEntry& e = histograms_[it->second];
+    SSA_CHECK(e.owned != nullptr);  // Get on an external registration
+    return e.owned.get();
+  }
+  RecordHelp(name, help);
+  histogram_index_[key] = histograms_.size();
+  histograms_.emplace_back();
+  HistEntry& e = histograms_.back();
+  e.name = name;
+  e.labels = labels;
+  e.owned.reset(new LatencyHistogram());
+  e.hist = e.owned.get();
+  return e.owned.get();
+}
+
+void MetricsRegistry::RegisterExternal(const std::string& name,
+                                       const std::string& labels,
+                                       const std::string& help,
+                                       const LatencyHistogram* hist) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = Key(name, labels);
+  auto it = histogram_index_.find(key);
+  if (it != histogram_index_.end()) {
+    histograms_[it->second].hist = hist;  // re-point (e.g. after restart)
+    return;
+  }
+  RecordHelp(name, help);
+  histogram_index_[key] = histograms_.size();
+  histograms_.emplace_back();
+  HistEntry& e = histograms_.back();
+  e.name = name;
+  e.labels = labels;
+  e.hist = hist;
+}
+
+void MetricsRegistry::AddCollector(Collector fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  collectors_.push_back(std::move(fn));
+}
+
+void MetricsRegistry::RecordHelp(const std::string& name,
+                                 const std::string& help) {
+  if (!help.empty() && help_.find(name) == help_.end()) help_[name] = help;
+}
+
+std::string MetricsRegistry::help(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = help_.find(name);
+  return it == help_.end() ? std::string() : it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.samples.reserve(counters_.size() + gauges_.size());
+    for (const auto& e : counters_) {
+      MetricSample s;
+      s.name = e.name;
+      s.labels = e.labels;
+      s.kind = MetricSample::kCounter;
+      s.value = static_cast<double>(e.instrument.value());
+      snap.samples.push_back(std::move(s));
+    }
+    for (const auto& e : gauges_) {
+      MetricSample s;
+      s.name = e.name;
+      s.labels = e.labels;
+      s.kind = MetricSample::kGauge;
+      s.value = e.instrument.value();
+      snap.samples.push_back(std::move(s));
+    }
+    for (const auto& e : histograms_) {
+      HistogramSample h;
+      h.name = e.name;
+      h.labels = e.labels;
+      h.count = e.hist->count();
+      h.sum = e.hist->sum();
+      h.min = e.hist->min();
+      h.max = e.hist->max();
+      h.p50 = e.hist->Percentile(50.0);
+      h.p95 = e.hist->Percentile(95.0);
+      h.p99 = e.hist->Percentile(99.0);
+      e.hist->ForEachBucket([&h](uint64_t upper, uint64_t count) {
+        h.buckets.emplace_back(upper, count);
+      });
+      snap.histograms.push_back(std::move(h));
+    }
+    collectors = collectors_;  // run outside the lock: a collector may call
+                               // back into the registry
+  }
+  for (const auto& fn : collectors) fn(&snap);
+  return snap;
+}
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot,
+                             const MetricsRegistry* help_source) {
+  std::string out;
+  out.reserve(4096);
+  auto help_for = [&](const std::string& name) {
+    return help_source ? help_source->help(name) : std::string();
+  };
+  // Group samples by family name so HELP/TYPE headers are emitted once per
+  // family, with every labeled sample beneath.
+  std::set<std::string> done;
+  for (size_t i = 0; i < snapshot.samples.size(); ++i) {
+    const MetricSample& s = snapshot.samples[i];
+    if (!done.insert(s.name).second) continue;
+    AppendHeader(&out, s.name, help_for(s.name),
+                 s.kind == MetricSample::kCounter ? "counter" : "gauge");
+    for (size_t j = i; j < snapshot.samples.size(); ++j) {
+      const MetricSample& t = snapshot.samples[j];
+      if (t.name == s.name) AppendSample(&out, t.name, t.labels, t.value);
+    }
+  }
+  std::set<std::string> hist_done;
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    if (!hist_done.insert(h.name).second) continue;
+    AppendHeader(&out, h.name, help_for(h.name), "histogram");
+    for (size_t j = i; j < snapshot.histograms.size(); ++j) {
+      const HistogramSample& t = snapshot.histograms[j];
+      if (t.name != h.name) continue;
+      uint64_t cumulative = 0;
+      for (const auto& bucket : t.buckets) {
+        cumulative += bucket.second;
+        char le[32];
+        std::snprintf(le, sizeof(le), "%" PRIu64, bucket.first);
+        AppendBucket(&out, t.name, t.labels, le, cumulative);
+      }
+      AppendBucket(&out, t.name, t.labels, "+Inf", t.count);
+      AppendSample(&out, t.name + "_sum", t.labels,
+                   static_cast<double>(t.sum));
+      AppendSample(&out, t.name + "_count", t.labels,
+                   static_cast<double>(t.count));
+    }
+  }
+  return out;
+}
+
+std::string ExportMetricsJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& s : snapshot.samples) {
+    if (s.kind != MetricSample::kCounter) continue;
+    if (!first) out << ",";
+    first = false;
+    std::string key;
+    JsonEscape(DisplayName(s.name, s.labels), &key);
+    out << "\"" << key << "\":" << static_cast<int64_t>(s.value);
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& s : snapshot.samples) {
+    if (s.kind != MetricSample::kGauge) continue;
+    if (!first) out << ",";
+    first = false;
+    std::string key;
+    JsonEscape(DisplayName(s.name, s.labels), &key);
+    out << "\"" << key << "\":" << s.value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    if (!first) out << ",";
+    first = false;
+    std::string key;
+    JsonEscape(DisplayName(h.name, h.labels), &key);
+    out << "\"" << key << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+        << ",\"min\":" << h.min << ",\"max\":" << h.max
+        << ",\"p50\":" << h.p50 << ",\"p95\":" << h.p95
+        << ",\"p99\":" << h.p99 << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace ssa

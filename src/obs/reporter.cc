@@ -1,0 +1,64 @@
+#include "obs/reporter.h"
+
+#include <utility>
+
+#include "durability/wire.h"
+
+namespace ssa {
+
+MetricsReporter::MetricsReporter(const MetricsRegistry* registry,
+                                 Options options)
+    : registry_(registry), options_(std::move(options)) {}
+
+MetricsReporter::~MetricsReporter() { Stop(); }
+
+void MetricsReporter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MetricsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+}
+
+void MetricsReporter::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, options_.interval,
+                       [this] { return stop_requested_; })) {
+        break;
+      }
+    }
+    EmitOnce();
+  }
+  EmitOnce();  // terminal snapshot so short runs still publish final state
+}
+
+void MetricsReporter::EmitOnce() {
+  const MetricsSnapshot snap = registry_->Snapshot();
+  if (options_.on_snapshot) options_.on_snapshot(snap);
+  if (!options_.output_path.empty()) {
+    const std::string body = options_.format == Format::kPrometheus
+                                 ? ExportPrometheus(snap, registry_)
+                                 : ExportMetricsJson(snap);
+    // Best effort: a failed write must not take down the pipeline.
+    AtomicWriteFile(options_.output_path, body);
+  }
+  reports_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace ssa

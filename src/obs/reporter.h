@@ -1,0 +1,68 @@
+#ifndef SSA_OBS_REPORTER_H_
+#define SSA_OBS_REPORTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace ssa {
+
+/// Periodic background reporter: snapshots a MetricsRegistry every
+/// `interval` and hands the snapshot to a callback and/or atomically
+/// rewrites a file with the chosen exposition. Runs on its own thread and
+/// touches only the registry's thread-safe read side, so it can coexist
+/// with a live serving pipeline.
+class MetricsReporter {
+ public:
+  enum class Format { kPrometheus, kJson };
+
+  struct Options {
+    std::chrono::milliseconds interval{1000};
+    /// When non-empty, each snapshot is atomically written here (tmp +
+    /// fsync + rename, so scrapers never see a partial file).
+    std::string output_path;
+    Format format = Format::kPrometheus;
+    /// Optional callback invoked with each snapshot (on the reporter
+    /// thread). May be set instead of, or in addition to, output_path.
+    std::function<void(const MetricsSnapshot&)> on_snapshot;
+  };
+
+  /// `registry` must outlive the reporter.
+  MetricsReporter(const MetricsRegistry* registry, Options options);
+  ~MetricsReporter();
+
+  MetricsReporter(const MetricsReporter&) = delete;
+  MetricsReporter& operator=(const MetricsReporter&) = delete;
+
+  void Start();
+  /// Stops the thread after one final snapshot (so short-lived processes
+  /// still publish their terminal state). Idempotent.
+  void Stop();
+
+  uint64_t reports_written() const {
+    return reports_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  void EmitOnce();
+
+  const MetricsRegistry* registry_;
+  Options options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::atomic<uint64_t> reports_{0};
+  std::thread thread_;
+};
+
+}  // namespace ssa
+
+#endif  // SSA_OBS_REPORTER_H_

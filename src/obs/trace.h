@@ -1,0 +1,137 @@
+#ifndef SSA_OBS_TRACE_H_
+#define SSA_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssa {
+
+/// Pipeline stages a query passes through in the serving executor. One span
+/// is stamped per stage crossing; together they reconstruct the query's
+/// journey submit -> queue wait -> capture -> plan lane -> merge-barrier
+/// wait -> settle-in-order -> log append / group fsync.
+enum class TraceStage : uint8_t {
+  kQuery = 0,        // umbrella: submit -> settled (async span)
+  kQueueWait = 1,    // submit -> popped by the executor (async span)
+  kCapture = 2,      // sequential bid capture (executor track)
+  kPlan = 3,         // pure planning half (lane track)
+  kBarrierWait = 4,  // executor blocked in AwaitReady for this slot
+  kSettle = 5,       // in-order settlement + strategy updates
+  kLogAppend = 6,    // settlement record append (buffered)
+  kLogFsync = 7,     // group-commit fsync covering this batch
+  kShardCapture = 8,  // per-shard slice of capture (shard track)
+  kShardPlan = 9,     // per-shard slice of planning (lane x shard track)
+  kBatch = 10,        // executor micro-batch envelope
+  kRepartition = 11,  // shard rebalance event
+};
+
+const char* TraceStageName(TraceStage stage);
+
+/// Tracing knobs. `sample_every = N` records every N-th sampled query
+/// (deterministic modulo on the admission sequence — the same queries are
+/// sampled on every run, so replay comparisons see identical instrumentation
+/// load). 0 disables tracing entirely (spans become a single predictable
+/// branch).
+struct TraceConfig {
+  uint32_t sample_every = 0;      // 0 = off, 1 = every query, N = 1-in-N
+  uint32_t ring_capacity = 1 << 16;  // spans retained (power of two)
+};
+
+/// One completed span. Fields are atomics only so the overwriting ring can
+/// be read while writers race past it (see Tracer); logically this is plain
+/// data guarded by `version`.
+struct TraceSpan {
+  std::atomic<uint64_t> version{0};  // seqlock: odd = write in progress
+  std::atomic<uint64_t> seq{0};      // query admission sequence (0 = none)
+  std::atomic<uint64_t> start_ns{0};
+  std::atomic<uint64_t> end_ns{0};
+  std::atomic<int32_t> track{0};  // see Tracer track-id scheme
+  std::atomic<uint8_t> stage{0};
+};
+
+/// A decoded span, safe to copy/sort/serialize.
+struct TraceEvent {
+  uint64_t seq = 0;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  int32_t track = 0;
+  TraceStage stage = TraceStage::kQuery;
+};
+
+/// Fixed-size lock-free overwriting span ring with deterministic 1-in-N
+/// sampling.
+///
+/// Write path: one relaxed fetch_add on the ring cursor plus six relaxed
+/// stores behind a per-cell seqlock version — wait-free, allocation-free,
+/// safe from the executor, the planning lanes, and producer threads
+/// concurrently. When the ring wraps, old spans are overwritten; if two
+/// writers ever collide on the same cell a full wrap apart, the seqlock
+/// keeps the data race benign (readers discard cells whose version is odd
+/// or changed mid-read) at the cost of dropping that cell. Tracing is
+/// best-effort by design: it must never block or perturb the pipeline.
+///
+/// Track-id scheme (rendered as Chrome trace tids):
+///   0            executor thread
+///   1 + e        plan lane e (external LanePool lanes)
+///   100 + s      shard s capture slice
+///   200 + 100*(lane+1) + s   shard s planned on `lane` (-1 = internal)
+class Tracer {
+ public:
+  explicit Tracer(const TraceConfig& config);
+
+  /// True when tracing is configured on (sample_every > 0).
+  bool enabled() const { return sample_every_ > 0; }
+
+  /// Assigns the sampling decision for the query admitted with sequence
+  /// number `admission_seq` (1-based). Returns a nonzero trace sequence if
+  /// the query is sampled, 0 otherwise. Deterministic: seq 1, 1+N, 1+2N,
+  /// ... are sampled.
+  uint64_t Sample(uint64_t admission_seq) const {
+    if (sample_every_ == 0) return 0;
+    return (admission_seq - 1) % sample_every_ == 0 ? admission_seq : 0;
+  }
+
+  /// Current monotonic timestamp in ns (steady clock, same base for every
+  /// span in this process).
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Records a completed span for sampled query `trace_seq` (no-op when 0).
+  /// Wait-free; callable from any thread.
+  void RecordSpan(uint64_t trace_seq, TraceStage stage, int32_t track,
+                  uint64_t start_ns, uint64_t end_ns);
+
+  /// Number of spans dropped to cell contention plus spans overwritten by
+  /// ring wrap-around (approximate).
+  uint64_t spans_recorded() const {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+
+  /// Decodes every consistent span currently in the ring, sorted by
+  /// start_ns. Safe concurrently with writers (torn cells are skipped).
+  std::vector<TraceEvent> Drain() const;
+
+  /// Renders events as Chrome trace-event JSON (the `traceEvents` array
+  /// format Perfetto loads directly): serial tracks emit complete "X"
+  /// events; kQuery/kQueueWait — which overlap freely across queries — emit
+  /// async "b"/"e" pairs keyed by query seq. A metadata record names each
+  /// track.
+  static std::string ExportChromeTrace(const std::vector<TraceEvent>& events);
+
+ private:
+  const uint32_t sample_every_;
+  const uint32_t capacity_;  // power of two
+  std::vector<TraceSpan> ring_;
+  mutable std::atomic<uint64_t> cursor_{0};
+};
+
+}  // namespace ssa
+
+#endif  // SSA_OBS_TRACE_H_

@@ -16,6 +16,23 @@ uint64_t ElapsedUs(SteadyClock::time_point from, SteadyClock::time_point to) {
   return us > 0 ? static_cast<uint64_t>(us) : 0;
 }
 
+/// Steady-clock point as absolute nanoseconds — the tracer's time base
+/// (Tracer::NowNs uses the same clock, so spans from both sources align).
+uint64_t ToNs(SteadyClock::time_point tp) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+std::string LaneLabel(int lane) {
+  return "lane=\"" + std::to_string(lane) + "\"";
+}
+
+std::string ShardLabel(int shard) {
+  return "shard=\"" + std::to_string(shard) + "\"";
+}
+
 /// Executor-side poll backoff for the lock-free queue: stay hot for a few
 /// rounds, then yield the core, then sleep — bounds idle burn at ~20 wakeups
 /// per millisecond without adding more than ~50us of pop latency.
@@ -63,6 +80,77 @@ AuctionServer::AuctionServer(
         config_.num_plan_lanes,
         [this](int lane, int64_t ticket) { RunLane(lane, ticket); });
   }
+  SetupObservability();
+}
+
+void AuctionServer::SetupObservability() {
+  const ObsConfig& obs = config_.obs;
+  if (obs.trace.sample_every > 0) {
+    tracer_ = std::make_unique<Tracer>(obs.trace);
+    engine_.set_tracer(tracer_.get());
+    // Distinct kShardPlan track base per lane, so Perfetto shows which lane
+    // planned each shard slice (the internal lane keeps base 200).
+    for (size_t e = 0; e < lanes_.size(); ++e) {
+      lanes_[e]->set_trace_track_base(200 + 100 * (static_cast<int>(e) + 1));
+    }
+  }
+  if (!obs.metrics) return;
+  registry_.RegisterExternal("serving_queue_wait_us", "",
+                             "Queue wait per request, microseconds",
+                             &queue_wait_us_);
+  registry_.RegisterExternal("serving_auction_us", "",
+                             "Planning (capture + plan) per query, "
+                             "microseconds",
+                             &auction_us_);
+  registry_.RegisterExternal("serving_settlement_us", "",
+                             "Settlement per query, microseconds",
+                             &settlement_us_);
+  registry_.RegisterExternal("serving_end_to_end_us", "",
+                             "Submit-to-settled per query, microseconds",
+                             &end_to_end_us_);
+  batch_size_hist_ = registry_.GetHistogram(
+      "serving_batch_queries", "", "Micro-batch size in queries");
+  for (int e = 0; e < config_.num_plan_lanes; ++e) {
+    lane_barrier_wait_us_.push_back(registry_.GetHistogram(
+        "serving_barrier_wait_us", LaneLabel(e),
+        "Executor wait at the ordered commit barrier, by the lane that "
+        "planned the slot, microseconds"));
+    lane_plans_total_.push_back(registry_.GetCounter(
+        "serving_lane_plans_total", LaneLabel(e),
+        "Epoch slots planned per lane (lane occupancy)"));
+  }
+  // Pull-side collector: admission/completion counters and queue depth.
+  // Everything read here is atomic or guarded by the source's own mutex, so
+  // the reporter thread may snapshot while producers and the executor run.
+  registry_.AddCollector([this](MetricsSnapshot* snap) {
+    auto add = [snap](const char* name, MetricSample::Kind kind, double v) {
+      MetricSample s;
+      s.name = name;
+      s.kind = kind;
+      s.value = v;
+      snap->samples.push_back(std::move(s));
+    };
+    add("serving_accepted_total", MetricSample::kCounter,
+        static_cast<double>(accepted()));
+    add("serving_rejected_total", MetricSample::kCounter,
+        static_cast<double>(rejected()));
+    add("serving_dropped_oldest_total", MetricSample::kCounter,
+        static_cast<double>(dropped_oldest()));
+    add("serving_completed_total", MetricSample::kCounter,
+        static_cast<double>(completed()));
+    add("serving_batches_total", MetricSample::kCounter,
+        static_cast<double>(batches()));
+    add("serving_rebalances_total", MetricSample::kCounter,
+        static_cast<double>(rebalances()));
+    const size_t depth = locking_queue_ != nullptr ? locking_queue_->size()
+                                                   : ring_->SizeApprox();
+    add("serving_queue_depth", MetricSample::kGauge,
+        static_cast<double>(depth));
+    if (tracer_ != nullptr) {
+      add("trace_spans_recorded_total", MetricSample::kCounter,
+          static_cast<double>(tracer_->spans_recorded()));
+    }
+  });
 }
 
 AuctionServer::~AuctionServer() { Stop(); }
@@ -87,12 +175,53 @@ Status AuctionServer::Start() {
       options.verify_outcomes = config_.mode == ServingMode::kDeterministicReplay;
       SSA_RETURN_IF_ERROR(RecoverEngine(&engine_, options, &recovery_));
     }
+    LogWriterOptions writer_options = durability.writer;
+    if (config_.obs.metrics) {
+      writer_options.fsync_us = registry_.GetHistogram(
+          "durability_fsync_us", "", "Settlement-log fsync, microseconds");
+      writer_options.commit_records = registry_.GetHistogram(
+          "durability_commit_records", "", "Records per group commit");
+    }
+    writer_options.tracer = tracer_.get();
     SSA_ASSIGN_OR_RETURN(
         log_writer_,
         SettlementLogWriter::Open(
-            durability.log_path, durability.writer,
+            durability.log_path, writer_options,
             static_cast<uint64_t>(engine_.auctions_run()) + 1,
             durability.injector));
+  }
+  if (config_.obs.metrics) {
+    // Recovery is done and final; publish it once as gauges.
+    registry_
+        .GetGauge("recovery_checkpoint_seq", "",
+                   "Checkpoint sequence recovery restored from")
+        ->Set(static_cast<int64_t>(recovery_.checkpoint_seq));
+    registry_
+        .GetGauge("recovery_records_replayed", "",
+                   "Settlement records replayed at Start")
+        ->Set(recovery_.records_replayed);
+    registry_
+        .GetGauge("recovery_records_skipped", "",
+                   "Pre-checkpoint records skipped at Start")
+        ->Set(recovery_.records_skipped);
+    registry_
+        .GetGauge("recovery_truncated_bytes", "",
+                   "Corrupt log-tail bytes truncated at Start")
+        ->Set(static_cast<int64_t>(recovery_.truncated_bytes));
+    registry_
+        .GetGauge("recovery_verify_mismatches", "",
+                   "Replay verification mismatches at Start")
+        ->Set(recovery_.verify_mismatches);
+    PublishEngineGauges();
+  }
+  if (config_.obs.report_interval.count() > 0) {
+    MetricsReporter::Options reporter_options;
+    reporter_options.interval = config_.obs.report_interval;
+    reporter_options.output_path = config_.obs.report_path;
+    reporter_options.on_snapshot = config_.obs.report_callback;
+    reporter_ =
+        std::make_unique<MetricsReporter>(&registry_, reporter_options);
+    reporter_->Start();
   }
   started_ = true;
   executor_ = std::thread([this] { ExecutorLoop(); });
@@ -117,6 +246,77 @@ void AuctionServer::Stop() {
       if (log_status_.ok()) log_status_ = status;
     }
   }
+  // Executor joined: publishing the final engine/log state is race-free,
+  // and the reporter's terminal snapshot (inside Stop) sees it.
+  if (config_.obs.metrics) PublishEngineGauges();
+  if (reporter_ != nullptr) reporter_->Stop();
+}
+
+void AuctionServer::PublishEngineGauges() {
+  if (!config_.obs.metrics) return;
+  const int num_shards = engine_.num_shards();
+  for (int s = 0; s < num_shards; ++s) {
+    const ShardedAuctionEngine::ShardStats stats = engine_.shard_stats(s);
+    const std::string label = ShardLabel(s);
+    registry_
+        .GetGauge("engine_shard_capture_ns", label,
+                  "Bid-capture wall time per shard since the last "
+                  "repartition, ns")
+        ->Set(stats.capture_ns);
+    registry_
+        .GetGauge("engine_shard_phase_ns", label,
+                  "Internal-lane shard-phase wall time since the last "
+                  "repartition, ns")
+        ->Set(stats.phase_ns);
+    registry_
+        .GetGauge("engine_shard_model_cost", label,
+                  "Cost model's predicted per-auction cost for the shard's "
+                  "range, ns")
+        ->Set(stats.model_cost);
+    registry_
+        .GetGauge("engine_shard_advertisers", label,
+                  "Advertisers currently owned by the shard")
+        ->Set(static_cast<int64_t>(stats.end - stats.begin));
+  }
+  registry_
+      .GetGauge("engine_cache_hits_total", "",
+                "Internal-lane compiled-bids cache hits")
+      ->Set(engine_.cache_hits());
+  registry_
+      .GetGauge("engine_cache_misses_total", "",
+                "Internal-lane compiled-bids cache misses")
+      ->Set(engine_.cache_misses());
+  for (size_t e = 0; e < lanes_.size(); ++e) {
+    const std::string label = LaneLabel(static_cast<int>(e));
+    registry_
+        .GetGauge("lane_cache_hits_total", label,
+                  "Per-lane compiled-bids cache hits")
+        ->Set(lanes_[e]->cache_hits());
+    registry_
+        .GetGauge("lane_cache_misses_total", label,
+                  "Per-lane compiled-bids cache misses")
+        ->Set(lanes_[e]->cache_misses());
+  }
+  if (log_writer_ != nullptr) {
+    registry_
+        .GetGauge("durability_records_appended_total", "",
+                  "Settlement records appended to the log")
+        ->Set(log_writer_->records_appended());
+    registry_
+        .GetGauge("durability_commits_total", "", "Log group commits")
+        ->Set(log_writer_->commits());
+    registry_
+        .GetGauge("durability_syncs_total", "", "Log fsyncs")
+        ->Set(log_writer_->syncs());
+    registry_
+        .GetGauge("durability_bytes_written_total", "", "Log bytes written")
+        ->Set(static_cast<int64_t>(log_writer_->bytes_written()));
+    registry_
+        .GetGauge("durability_checkpoint_age", "",
+                  "Auctions settled since the recovered checkpoint (crash "
+                  "replay cost)")
+        ->Set(checkpoint_age());
+  }
 }
 
 Status AuctionServer::WriteCheckpoint() const {
@@ -131,10 +331,17 @@ Status AuctionServer::log_status() const {
   return log_status_;
 }
 
-void AuctionServer::LogSettlement(const AuctionOutcome& outcome) {
+void AuctionServer::LogSettlement(const AuctionOutcome& outcome,
+                                  uint64_t trace_seq) {
   if (log_writer_ == nullptr) return;
+  const bool traced = tracer_ != nullptr && trace_seq != 0;
+  const uint64_t t0 = traced ? Tracer::NowNs() : 0;
   const Status status = log_writer_->Append(SettlementRecord::FromOutcome(
       static_cast<uint64_t>(engine_.auctions_run()), outcome));
+  if (traced) {
+    tracer_->RecordSpan(trace_seq, TraceStage::kLogAppend, /*track=*/0, t0,
+                        Tracer::NowNs());
+  }
   if (!status.ok()) {
     std::lock_guard<std::mutex> lock(log_status_mu_);
     if (log_status_.ok()) log_status_ = status;
@@ -145,6 +352,13 @@ QueuePushResult AuctionServer::Submit(Query query) {
   ServingRequest request;
   request.query = std::move(query);
   request.admitted_at = SteadyClock::now();
+  if (tracer_ != nullptr) {
+    // Deterministic 1-in-N on the admission sequence: the same queries are
+    // sampled on every run, so replay comparisons carry identical
+    // instrumentation load.
+    request.trace_seq = tracer_->Sample(
+        admissions_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
   if (locking_queue_ != nullptr) {
     return locking_queue_->Push(std::move(request));
   }
@@ -225,11 +439,31 @@ void AuctionServer::ExecutorLoop() {
                                        config_.batch_deadline)
             : PopBatchLockFree(&batch);
     if (!alive) return;  // closed and drained
+    // Batch envelope span, stamped with the batch's first sampled query (a
+    // batch with no sampled query records no envelope).
+    uint64_t batch_trace_seq = 0;
+    if (tracer_ != nullptr) {
+      for (const ServingRequest& r : batch) {
+        if (r.trace_seq != 0) {
+          batch_trace_seq = r.trace_seq;
+          break;
+        }
+      }
+    }
+    const uint64_t batch_t0 = batch_trace_seq != 0 ? Tracer::NowNs() : 0;
     RunBatch(&batch);
+    if (batch_trace_seq != 0) {
+      tracer_->RecordSpan(batch_trace_seq, TraceStage::kBatch, /*track=*/0,
+                          batch_t0, Tracer::NowNs());
+    }
     // Epoch boundary: the batch is fully settled and every lane is idle (the
     // settler awaited each slot), so no plan or capture is in flight —
     // exactly Repartition's precondition. Never inside a batch.
     MaybeRebalance();
+    // Per-batch gauge refresh: shard stats, lane caches, log counters. Off
+    // the per-query path; plain engine state is only ever read here, on the
+    // executor, which is what keeps registry snapshots race-free.
+    PublishEngineGauges();
   }
 }
 
@@ -245,8 +479,13 @@ void AuctionServer::RunBatch(std::vector<ServingRequest>* batch) {
   const auto popped_at = SteadyClock::now();
   for (const ServingRequest& r : *batch) {
     queue_wait_us_.Record(ElapsedUs(r.admitted_at, popped_at));
+    if (tracer_ != nullptr && r.trace_seq != 0) {
+      tracer_->RecordSpan(r.trace_seq, TraceStage::kQueueWait, /*track=*/0,
+                          ToNs(r.admitted_at), ToNs(popped_at));
+    }
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
+  if (batch_size_hist_ != nullptr) batch_size_hist_->Record(batch->size());
 
   if (lane_pool_ != nullptr) {
     RunBatchWithLanes(batch);
@@ -258,16 +497,30 @@ void AuctionServer::RunBatch(std::vector<ServingRequest>* batch) {
     // Plan+settle interleaved per query: batch boundaries group work but
     // never reorder it, so the trajectory equals the serial engine loop.
     for (ServingRequest& r : *batch) {
+      const bool traced = tracer_ != nullptr && r.trace_seq != 0;
       plans_.resize(1);
       timer.Reset();
-      engine_.PlanAuction(r.query, &plans_[0]);
+      uint64_t t0 = traced ? Tracer::NowNs() : 0;
+      engine_.PlanAuction(r.query, &plans_[0], r.trace_seq);
+      if (traced) {
+        tracer_->RecordSpan(r.trace_seq, TraceStage::kPlan, /*track=*/0, t0,
+                            Tracer::NowNs());
+      }
       auction_us_.Record(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3));
       timer.Reset();
+      t0 = traced ? Tracer::NowNs() : 0;
       const AuctionOutcome& outcome = engine_.SettlePlanned(&plans_[0]);
-      LogSettlement(outcome);
+      LogSettlement(outcome, r.trace_seq);
       settlement_us_.Record(
           static_cast<uint64_t>(timer.ElapsedMillis() * 1e3));
-      end_to_end_us_.Record(ElapsedUs(r.admitted_at, SteadyClock::now()));
+      const auto settled_at = SteadyClock::now();
+      if (traced) {
+        tracer_->RecordSpan(r.trace_seq, TraceStage::kSettle, /*track=*/0,
+                            t0, ToNs(settled_at));
+        tracer_->RecordSpan(r.trace_seq, TraceStage::kQuery, /*track=*/0,
+                            ToNs(r.admitted_at), ToNs(settled_at));
+      }
+      end_to_end_us_.Record(ElapsedUs(r.admitted_at, settled_at));
       completed_.fetch_add(1, std::memory_order_relaxed);
       if (on_complete_) on_complete_(outcome);
     }
@@ -278,45 +531,84 @@ void AuctionServer::RunBatch(std::vector<ServingRequest>* batch) {
   // state, then settle in arrival order in one pass.
   plans_.resize(batch->size());
   for (size_t i = 0; i < batch->size(); ++i) {
+    const ServingRequest& r = (*batch)[i];
+    const bool traced = tracer_ != nullptr && r.trace_seq != 0;
     timer.Reset();
-    engine_.PlanAuction((*batch)[i].query, &plans_[i]);
+    const uint64_t t0 = traced ? Tracer::NowNs() : 0;
+    engine_.PlanAuction(r.query, &plans_[i], r.trace_seq);
+    if (traced) {
+      tracer_->RecordSpan(r.trace_seq, TraceStage::kPlan, /*track=*/0, t0,
+                          Tracer::NowNs());
+    }
     auction_us_.Record(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3));
   }
   for (size_t i = 0; i < batch->size(); ++i) {
+    const ServingRequest& r = (*batch)[i];
+    const bool traced = tracer_ != nullptr && r.trace_seq != 0;
     timer.Reset();
+    const uint64_t t0 = traced ? Tracer::NowNs() : 0;
     const AuctionOutcome& outcome = engine_.SettlePlanned(&plans_[i]);
-    LogSettlement(outcome);
+    LogSettlement(outcome, r.trace_seq);
     settlement_us_.Record(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3));
-    end_to_end_us_.Record(
-        ElapsedUs((*batch)[i].admitted_at, SteadyClock::now()));
+    const auto settled_at = SteadyClock::now();
+    if (traced) {
+      tracer_->RecordSpan(r.trace_seq, TraceStage::kSettle, /*track=*/0, t0,
+                          ToNs(settled_at));
+      tracer_->RecordSpan(r.trace_seq, TraceStage::kQuery, /*track=*/0,
+                          ToNs(r.admitted_at), ToNs(settled_at));
+    }
+    end_to_end_us_.Record(ElapsedUs(r.admitted_at, settled_at));
     completed_.fetch_add(1, std::memory_order_relaxed);
     if (on_complete_) on_complete_(outcome);
   }
 }
 
 void AuctionServer::SettleSlot(std::vector<ServingRequest>* batch, size_t i) {
+  const ServingRequest& r = (*batch)[i];
+  const bool traced = tracer_ != nullptr && r.trace_seq != 0;
   // auction_us spans both planning halves: the executor's capture plus the
   // lane's pure plan — the same work the in-thread path times as one span.
   auction_us_.Record(capture_us_[i] + plan_us_[i]);
   WallTimer timer;
+  const uint64_t t0 = traced ? Tracer::NowNs() : 0;
   const AuctionOutcome& outcome = engine_.SettlePlanned(&plans_[i]);
-  LogSettlement(outcome);
+  LogSettlement(outcome, r.trace_seq);
   settlement_us_.Record(static_cast<uint64_t>(timer.ElapsedMillis() * 1e3));
-  end_to_end_us_.Record(
-      ElapsedUs((*batch)[i].admitted_at, SteadyClock::now()));
+  const auto settled_at = SteadyClock::now();
+  if (traced) {
+    tracer_->RecordSpan(r.trace_seq, TraceStage::kSettle, /*track=*/0, t0,
+                        ToNs(settled_at));
+    tracer_->RecordSpan(r.trace_seq, TraceStage::kQuery, /*track=*/0,
+                        ToNs(r.admitted_at), ToNs(settled_at));
+  }
+  end_to_end_us_.Record(ElapsedUs(r.admitted_at, settled_at));
   completed_.fetch_add(1, std::memory_order_relaxed);
   if (on_complete_) on_complete_(outcome);
 }
 
 void AuctionServer::RunLane(int lane, int64_t slot) {
   const size_t i = static_cast<size_t>(slot);
+  const uint64_t trace_seq = (*epoch_batch_)[i].trace_seq;
+  const bool traced = tracer_ != nullptr && trace_seq != 0;
   WallTimer timer;
+  const uint64_t t0 = traced ? Tracer::NowNs() : 0;
   // Pure planning on this lane's private scratch: reads the executor's
   // captured bids (published by Dispatch), writes only lanes_[lane] and
   // plans_[i] (published to the settler by MarkReady).
   engine_.PlanCaptured((*epoch_batch_)[i].query, captures_[i],
-                       lanes_[static_cast<size_t>(lane)].get(), &plans_[i]);
+                       lanes_[static_cast<size_t>(lane)].get(), &plans_[i],
+                       trace_seq);
+  if (traced) {
+    tracer_->RecordSpan(trace_seq, TraceStage::kPlan, /*track=*/1 + lane, t0,
+                        Tracer::NowNs());
+  }
+  if (!lane_plans_total_.empty()) {
+    lane_plans_total_[static_cast<size_t>(lane)]->Increment();
+  }
   plan_us_[i] = static_cast<uint64_t>(timer.ElapsedMillis() * 1e3);
+  // Published to the executor by MarkReady's mutex — lets the settler
+  // attribute its barrier wait to the lane that planned the slot.
+  slot_lane_[i] = lane;
   settle_barrier_.MarkReady(slot);
 }
 
@@ -326,10 +618,46 @@ void AuctionServer::RunBatchWithLanes(std::vector<ServingRequest>* batch) {
   captures_.resize(b);
   capture_us_.assign(b, 0);
   plan_us_.assign(b, 0);
+  slot_lane_.assign(b, -1);
   epoch_batch_ = batch;
   settle_barrier_.Reset(static_cast<int64_t>(b));
 
-  WallTimer timer;
+  // Capture instrumentation (executor track) and per-lane barrier-wait
+  // attribution: AwaitReady's blocked time is charged to the lane that
+  // planned the slot (slot_lane_, published by MarkReady) — the exact
+  // signal ROADMAP item 2 wants rebalancing to consume.
+  auto capture_slot = [&](size_t i) {
+    const ServingRequest& r = (*batch)[i];
+    const bool traced = tracer_ != nullptr && r.trace_seq != 0;
+    WallTimer timer;
+    const uint64_t t0 = traced ? Tracer::NowNs() : 0;
+    engine_.CaptureBids(r.query, &captures_[i], r.trace_seq);
+    if (traced) {
+      tracer_->RecordSpan(r.trace_seq, TraceStage::kCapture, /*track=*/0, t0,
+                          Tracer::NowNs());
+    }
+    capture_us_[i] = static_cast<uint64_t>(timer.ElapsedMillis() * 1e3);
+  };
+  auto await_slot = [&](size_t i) {
+    const ServingRequest& r = (*batch)[i];
+    const bool traced = tracer_ != nullptr && r.trace_seq != 0;
+    const bool timed = traced || !lane_barrier_wait_us_.empty();
+    const uint64_t t0 = timed ? Tracer::NowNs() : 0;
+    settle_barrier_.AwaitReady(static_cast<int64_t>(i));
+    if (timed) {
+      const uint64_t t1 = Tracer::NowNs();
+      if (traced) {
+        tracer_->RecordSpan(r.trace_seq, TraceStage::kBarrierWait,
+                            /*track=*/0, t0, t1);
+      }
+      const int lane = slot_lane_[i];  // valid after AwaitReady
+      if (!lane_barrier_wait_us_.empty() && lane >= 0) {
+        lane_barrier_wait_us_[static_cast<size_t>(lane)]->Record(
+            (t1 - t0) / 1000);
+      }
+    }
+  };
+
   if (config_.mode == ServingMode::kDeterministicReplay) {
     // Replay demands capture i+1 see slot i fully settled (bidding programs
     // read accounts and their own outcome-updated state), so each slot makes
@@ -337,11 +665,9 @@ void AuctionServer::RunBatchWithLanes(std::vector<ServingRequest>* batch) {
     // bitwise-equal to the serial loop for any lane count; per-lane cache
     // divergence affects timing only.
     for (size_t i = 0; i < b; ++i) {
-      timer.Reset();
-      engine_.CaptureBids((*batch)[i].query, &captures_[i]);
-      capture_us_[i] = static_cast<uint64_t>(timer.ElapsedMillis() * 1e3);
+      capture_slot(i);
       lane_pool_->Dispatch(static_cast<int64_t>(i));
-      settle_barrier_.AwaitReady(static_cast<int64_t>(i));
+      await_slot(i);
       SettleSlot(batch, i);
     }
   } else {
@@ -351,13 +677,11 @@ void AuctionServer::RunBatchWithLanes(std::vector<ServingRequest>* batch) {
     // proceeds while lanes plan earlier slots, and the settler drains slot i
     // while lanes still plan slots j > i.
     for (size_t i = 0; i < b; ++i) {
-      timer.Reset();
-      engine_.CaptureBids((*batch)[i].query, &captures_[i]);
-      capture_us_[i] = static_cast<uint64_t>(timer.ElapsedMillis() * 1e3);
+      capture_slot(i);
       lane_pool_->Dispatch(static_cast<int64_t>(i));
     }
     for (size_t i = 0; i < b; ++i) {
-      settle_barrier_.AwaitReady(static_cast<int64_t>(i));
+      await_slot(i);
       SettleSlot(batch, i);
     }
   }

@@ -13,6 +13,9 @@
 #include "auction/sharded_engine.h"
 #include "durability/recovery.h"
 #include "durability/settlement_log.h"
+#include "obs/metrics.h"
+#include "obs/reporter.h"
+#include "obs/trace.h"
 #include "util/bounded_queue.h"
 #include "util/epoch.h"
 #include "util/histogram.h"
@@ -54,6 +57,33 @@ struct ServingRequest {
   Query query;
   /// Admission timestamp — queue-wait and end-to-end latency anchor.
   std::chrono::steady_clock::time_point admitted_at{};
+  /// Sampled trace sequence (0 = this query records no spans). Assigned at
+  /// Submit from the admission counter, deterministically 1-in-N.
+  uint64_t trace_seq = 0;
+};
+
+/// Observability knobs. Metrics default on (wait-free instruments; the
+/// executor additionally publishes engine/log gauges once per batch);
+/// tracing defaults off. Neither path touches auction values —
+/// instrumentation only reads clocks and writes side state — so
+/// kDeterministicReplay stays bitwise-identical at any sampling rate
+/// (serving_test pins this at full sampling).
+struct ObsConfig {
+  /// Register instruments and publish per-batch gauges. false = the
+  /// registry stays empty and the serving path records only the four
+  /// pre-existing stage histograms.
+  bool metrics = true;
+  /// sample_every = 0 disables tracing; the hot path then pays one null
+  /// check per stage.
+  TraceConfig trace;
+  /// > 0 runs a background MetricsReporter at this interval (plus one
+  /// terminal snapshot at Stop()).
+  std::chrono::milliseconds report_interval{0};
+  /// Reporter target (Prometheus text, atomically replaced per snapshot).
+  /// Empty = reporter publishes through `report_callback` only.
+  std::string report_path;
+  /// Optional per-snapshot callback (reporter thread).
+  std::function<void(const MetricsSnapshot&)> report_callback;
 };
 
 /// Durability knobs for the serving path. All off by default — the server
@@ -116,6 +146,7 @@ struct ServerConfig {
   /// bitwise-equal to the serial engine (serving_test pins this).
   ShardRebalancerOptions rebalance{/*every=*/0};
   DurabilityConfig durability;
+  ObsConfig obs;
 };
 
 /// Asynchronous serving front-end for the sharded auction engine: producers
@@ -226,6 +257,23 @@ class AuctionServer {
   /// syncs, bytes). Null when durability is off.
   const SettlementLogWriter* log_writer() const { return log_writer_.get(); }
 
+  // --- Observability --------------------------------------------------------
+  /// The unified metrics registry: stage histograms, admission/completion
+  /// counters, queue depth, per-lane barrier waits, per-shard engine
+  /// telemetry, and durability gauges all snapshot through here.
+  /// Snapshot()/exporters are safe any time; per-shard and log gauges are
+  /// refreshed by the executor at batch boundaries (and once more at
+  /// Stop()), so they trail live state by at most one batch.
+  const MetricsRegistry& metrics() const { return registry_; }
+  MetricsRegistry* mutable_metrics() { return &registry_; }
+  /// The pipeline tracer (null when obs.trace.sample_every == 0).
+  const Tracer* tracer() const { return tracer_.get(); }
+  /// Decoded spans currently in the trace ring, start-ordered (empty when
+  /// tracing is off). Export with Tracer::ExportChromeTrace.
+  std::vector<TraceEvent> DrainTrace() const {
+    return tracer_ != nullptr ? tracer_->Drain() : std::vector<TraceEvent>();
+  }
+
  private:
   void ExecutorLoop();
   /// Lock-free analogue of BoundedQueue::PopBatch: poll with backoff for
@@ -245,6 +293,15 @@ class AuctionServer {
   /// fully settled, every lane idle), asks the rebalancer whether a check is
   /// due, and applies RebalanceShards under config.rebalance.min_imbalance.
   void MaybeRebalance();
+  /// Registers instruments/collectors and constructs the tracer (called from
+  /// the constructor; no-ops per ObsConfig).
+  void SetupObservability();
+  /// Pushes plain (non-atomic) engine and log-writer state — shard stats,
+  /// per-lane cache totals, log counters, checkpoint age — into registry
+  /// gauges. Executor thread only (batch boundaries + Stop), which is what
+  /// keeps the reporter/snapshot side race-free: snapshots read only atomic
+  /// gauge words, never the engine's plain state.
+  void PublishEngineGauges();
 
   ServerConfig config_;
   ShardedAuctionEngine engine_;
@@ -262,7 +319,7 @@ class AuctionServer {
 
   /// Appends the settled outcome to the log sink (no-op when off); records
   /// the first failure in log_status_. Executor thread only.
-  void LogSettlement(const AuctionOutcome& outcome);
+  void LogSettlement(const AuctionOutcome& outcome, uint64_t trace_seq);
 
   CompletionFn on_complete_;
   std::thread executor_;
@@ -282,6 +339,20 @@ class AuctionServer {
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> rebalances_{0};
 
+  // --- Observability state --------------------------------------------------
+  MetricsRegistry registry_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<MetricsReporter> reporter_;
+  /// Admission sequence feeding the deterministic trace sampler (counted
+  /// only when tracing is configured).
+  std::atomic<uint64_t> admissions_{0};
+  /// Interned instruments, null when obs.metrics is false. The per-lane
+  /// vectors are indexed by lane id; lane workers touch only their own
+  /// (atomic) instruments.
+  LatencyHistogram* batch_size_hist_ = nullptr;
+  std::vector<LatencyHistogram*> lane_barrier_wait_us_;
+  std::vector<Counter*> lane_plans_total_;
+
   /// Batched-settlement scratch: one plan per in-flight batch slot.
   std::vector<ShardedAuctionEngine::PlannedAuction> plans_;
 
@@ -297,6 +368,10 @@ class AuctionServer {
   std::vector<ShardedAuctionEngine::CapturedBids> captures_;
   std::vector<uint64_t> capture_us_;
   std::vector<uint64_t> plan_us_;
+  /// Which lane planned each epoch slot — written by the owning lane before
+  /// MarkReady, read by the executor after AwaitReady (the barrier mutex
+  /// publishes it), attributing barrier waits per lane.
+  std::vector<int> slot_lane_;
   /// The batch the open epoch is serving; valid between the first
   /// Dispatch and the last AwaitReady of the epoch.
   std::vector<ServingRequest>* epoch_batch_ = nullptr;

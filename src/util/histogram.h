@@ -102,6 +102,18 @@ class LatencyHistogram {
     min_.store(kEmptyMin, std::memory_order_relaxed);
   }
 
+  /// Invokes `fn(upper, count)` for every non-empty bucket in ascending
+  /// value order, where `upper` is the bucket's inclusive upper bound and
+  /// `count` its occupancy. Same read-side contract as Percentile: a racy
+  /// but per-bucket-consistent snapshot, for reporting/export only.
+  template <typename Fn>
+  void ForEachBucket(Fn&& fn) const {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const uint64_t c = counts_[b].load(std::memory_order_relaxed);
+      if (c != 0) fn(BucketUpper(b), c);
+    }
+  }
+
   /// Inclusive upper bound of the value range mapped to bucket `b` (exposed
   /// for the unit tests pinning the bucket geometry).
   static uint64_t BucketUpper(int b) {

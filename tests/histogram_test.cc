@@ -113,6 +113,75 @@ TEST(LatencyHistogramTest, MergeFromEqualsCombinedRecording) {
   }
 }
 
+TEST(LatencyHistogramTest, MergeFromEmptyPreservesMinMaxSentinels) {
+  // Folding an empty histogram in must not clobber min (the kEmptyMin
+  // sentinel is guarded) or max; folding into an empty one must adopt both.
+  LatencyHistogram a, empty;
+  a.Record(100);
+  a.Record(9000);
+  a.MergeFrom(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 100u);
+  EXPECT_EQ(a.max(), 9000u);
+
+  LatencyHistogram b;
+  b.MergeFrom(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 100u);
+  EXPECT_EQ(b.max(), 9000u);
+
+  // Empty-into-empty stays empty (min sentinel maps to 0, not ~0).
+  LatencyHistogram c;
+  c.MergeFrom(empty);
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.min(), 0u);
+  EXPECT_EQ(c.max(), 0u);
+}
+
+TEST(LatencyHistogramTest, ForEachBucketCoversEveryRecord) {
+  Rng rng(41);
+  LatencyHistogram h;
+  constexpr int kRecords = 10000;
+  for (int i = 0; i < kRecords; ++i) h.Record(rng.NextBounded(1 << 22));
+  uint64_t total = 0;
+  uint64_t prev_upper = 0;
+  bool first = true;
+  h.ForEachBucket([&](uint64_t upper, uint64_t count) {
+    EXPECT_GT(count, 0u);  // only non-empty buckets are visited
+    if (!first) {
+      EXPECT_GT(upper, prev_upper);  // ascending value order
+    }
+    first = false;
+    prev_upper = upper;
+    total += count;
+  });
+  EXPECT_EQ(total, static_cast<uint64_t>(kRecords));
+  // The last visited bucket must be able to hold the max.
+  EXPECT_GE(prev_upper, h.max());
+}
+
+TEST(LatencyHistogramTest, ForEachBucketEmptyVisitsNothing) {
+  LatencyHistogram h;
+  int calls = 0;
+  h.ForEachBucket([&](uint64_t, uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(LatencyHistogramTest, ForEachBucketExactRegionUppersAreValues) {
+  // Values below 16 land in width-1 buckets whose upper bound IS the value.
+  LatencyHistogram h;
+  h.Record(3);
+  h.Record(3);
+  h.Record(7);
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+  h.ForEachBucket([&](uint64_t upper, uint64_t count) {
+    buckets.emplace_back(upper, count);
+  });
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0], (std::pair<uint64_t, uint64_t>{3, 2}));
+  EXPECT_EQ(buckets[1], (std::pair<uint64_t, uint64_t>{7, 1}));
+}
+
 TEST(LatencyHistogramTest, ResetClears) {
   LatencyHistogram h;
   h.Record(5);

@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -113,6 +114,7 @@ struct ReplayParam {
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   int num_plan_lanes = 0;  // 0 = in-thread planning
   int64_t rebalance_every = 0;  // 0 = epoch-boundary rebalancing off
+  bool full_tracing = false;  // trace every query (sample_every = 1)
 };
 
 void RunReplayEquivalence(const ReplayParam& param) {
@@ -145,6 +147,7 @@ void RunReplayEquivalence(const ReplayParam& param) {
   config.batch_deadline = microseconds(100);
   config.mode = ServingMode::kDeterministicReplay;
   config.num_plan_lanes = param.num_plan_lanes;
+  if (param.full_tracing) config.obs.trace.sample_every = 1;
   config.rebalance.every = param.rebalance_every;
   // Move boundaries on any measured imbalance: maximal churn, so the
   // equivalence check exercises as many repartitions as possible.
@@ -254,6 +257,89 @@ TEST(ServingRebalanceTest, ReplayMatrixStaysBitwiseWithRebalancingEnabled) {
       RunReplayEquivalence(param);
     }
   }
+}
+
+TEST(ServingObservabilityTest, ReplayStaysBitwiseUnderFullTracing) {
+  // The observability half of the determinism contract: with every query
+  // traced (sample_every = 1) and metrics on, replay must still reproduce
+  // the serial engine bitwise across lane and shard counts. Instrumentation
+  // reads clocks and writes side state; it must never move an auction value.
+  for (int lanes : {1, 4}) {
+    for (int shards : {1, 4}) {
+      SCOPED_TRACE("lanes=" + std::to_string(lanes) +
+                   " shards=" + std::to_string(shards));
+      ReplayParam param;
+      param.max_batch = 8;
+      param.num_shards = shards;
+      param.num_plan_lanes = lanes;
+      param.full_tracing = true;
+      RunReplayEquivalence(param);
+    }
+  }
+}
+
+TEST(ServingObservabilityTest, MetricsAndTraceExposePipelineSignals) {
+  // Acceptance check for the pipeline signals ROADMAP item 2 asks for: the
+  // per-lane merge-barrier wait and the per-shard capture/plan slices must
+  // be visible in the Prometheus snapshot and in the Perfetto trace.
+  const uint64_t workload_seed = 41;
+  Workload w = MakePaperWorkload(SmallConfig(workload_seed));
+  const std::vector<Query> queries =
+      MakeQuerySequence(80, w.config.num_keywords, 43);
+  ServerConfig config;
+  config.engine.engine.seed = 43;
+  config.engine.num_shards = 2;
+  config.max_batch_size = 8;
+  config.num_plan_lanes = 2;
+  config.mode = ServingMode::kDeterministicReplay;
+  config.obs.trace.sample_every = 1;
+  auto strategies = RoiStrategies(w);
+  AuctionServer server(config, std::move(w), std::move(strategies));
+  server.Start();
+  for (const Query& q : queries) {
+    ASSERT_EQ(server.Submit(q), QueuePushResult::kAccepted);
+  }
+  server.Stop();
+
+  // Prometheus side: stage histograms, per-lane barrier waits, per-shard
+  // engine gauges, admission counters.
+  const std::string prom =
+      ExportPrometheus(server.metrics().Snapshot(), &server.metrics());
+  EXPECT_NE(prom.find("serving_accepted_total 80"), std::string::npos);
+  EXPECT_NE(prom.find("serving_completed_total 80"), std::string::npos);
+  EXPECT_NE(prom.find("serving_barrier_wait_us_count{lane=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("serving_barrier_wait_us_count{lane=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("serving_queue_wait_us_count"), std::string::npos);
+  EXPECT_NE(prom.find("engine_shard_capture_ns{shard=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("trace_spans_recorded_total"), std::string::npos);
+
+  // Trace side: every pipeline stage appears, including the per-shard
+  // capture/plan slices and the per-slot barrier wait.
+  const std::vector<TraceEvent> events = server.DrainTrace();
+  ASSERT_FALSE(events.empty());
+  std::set<TraceStage> stages;
+  std::set<int32_t> plan_tracks;
+  for (const TraceEvent& e : events) {
+    stages.insert(e.stage);
+    if (e.stage == TraceStage::kPlan) plan_tracks.insert(e.track);
+  }
+  for (TraceStage want :
+       {TraceStage::kQuery, TraceStage::kQueueWait, TraceStage::kCapture,
+        TraceStage::kPlan, TraceStage::kBarrierWait, TraceStage::kSettle,
+        TraceStage::kBatch, TraceStage::kShardCapture,
+        TraceStage::kShardPlan}) {
+    EXPECT_TRUE(stages.count(want)) << TraceStageName(want);
+  }
+  // kPlan spans land on the lane tracks (1 + e), not the executor track.
+  EXPECT_TRUE(plan_tracks.count(1));
+  EXPECT_TRUE(plan_tracks.count(2));
+  const std::string chrome = Tracer::ExportChromeTrace(events);
+  EXPECT_NE(chrome.find("\"barrier_wait\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"shard_plan\""), std::string::npos);
+  EXPECT_NE(chrome.find("shard 1 capture"), std::string::npos);
 }
 
 TEST(ServingRebalanceTest, RebalanceKeepsValidPartitionAndFeedsCostModel) {
