@@ -118,6 +118,45 @@ const AuctionOutcome& AuctionEngine::RunAuctionOn(const Query& query) {
   return outcome_;
 }
 
+void AuctionEngine::WhatIfAuction(const Query& query,
+                                  AuctionOutcome* outcome) const {
+  const int n = static_cast<int>(strategies_.size());
+  const int k = workload_.config.num_slots;
+  const ClickModel& model = *workload_.click_model;
+  *outcome = AuctionOutcome{};
+  outcome->query = query;
+
+  // Local scratch throughout: the engine's reusable buffers (bids_,
+  // bid_cache_, compiled_view_, outcome_) belong to the mutating path.
+  WallTimer timer;
+  std::vector<BidsTable> bids(n);
+  for (AdvertiserId i = 0; i < n; ++i) {
+    strategies_[i]->PeekBids(query, workload_.accounts[i], &bids[i]);
+  }
+  outcome->program_eval_ms = timer.ElapsedMillis();
+
+  timer.Reset();
+  CompiledBidsCache cache;
+  cache.Reserve(static_cast<size_t>(n));
+  std::vector<const CompiledBids*> compiled;
+  compiled.reserve(n);
+  for (AdvertiserId i = 0; i < n; ++i) {
+    compiled.push_back(&cache.Get(i, bids[i], k));
+  }
+  const RevenueMatrix revenue =
+      BuildRevenueMatrixCompiled(compiled, model, /*pool=*/nullptr);
+  outcome->matrix_ms = timer.ElapsedMillis();
+
+  timer.Reset();
+  outcome->wd = DetermineWinners(revenue, config_.wd_method);
+  outcome->wd_ms = timer.ElapsedMillis();
+
+  timer.Reset();
+  outcome->prices =
+      ComputePrices(config_.pricing, revenue, model, outcome->wd.allocation);
+  outcome->pricing_ms = timer.ElapsedMillis();
+}
+
 void AuctionEngine::CaptureCheckpoint(EngineCheckpoint* ckpt) const {
   *ckpt = EngineCheckpoint{};
   ckpt->seq = static_cast<uint64_t>(auctions_run_);

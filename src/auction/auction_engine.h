@@ -101,6 +101,16 @@ class AuctionEngine {
   /// sequence reproduces the internal stream bitwise.
   const AuctionOutcome& RunAuctionOn(const Query& query);
 
+  /// The provider-side half of one auction as a *pure read*: programs run
+  /// via PeekBids (no strategy-state advance), compilation/matrix/winner
+  /// determination/pricing go through caller-invisible local scratch, and
+  /// no account, RNG, counter, or cache state moves. `outcome->events`
+  /// stays empty and revenue_charged 0 — settlement is exactly the part a
+  /// what-if must not do. Serial with any mutating call on this engine
+  /// (PeekBids' default transiently mutates strategy state); the follower
+  /// read path holds its apply mutex across this.
+  void WhatIfAuction(const Query& query, AuctionOutcome* outcome) const;
+
   const std::vector<AdvertiserAccount>& accounts() const {
     return workload_.accounts;
   }

@@ -271,6 +271,26 @@ void ShardedAuctionEngine::PlanAuction(const Query& query,
   plan->outcome.program_eval_ms += capture_ms;
 }
 
+void ShardedAuctionEngine::CaptureBidsForRead(const Query& query,
+                                              CapturedBids* bids) const {
+  const int n = static_cast<int>(strategies_.size());
+  bids->resize(n);
+  for (AdvertiserId i = 0; i < n; ++i) {
+    BidsTable& table = (*bids)[i];
+    table.Clear();
+    strategies_[i]->PeekBids(query, workload_.accounts[i], &table);
+  }
+}
+
+void ShardedAuctionEngine::WhatIfAuction(const Query& query, PlanLane* lane,
+                                         PlannedAuction* plan) const {
+  WallTimer timer;
+  CaptureBidsForRead(query, &lane->peek_capture);
+  const double capture_ms = timer.ElapsedMillis();
+  PlanCaptured(query, lane->peek_capture, lane, plan);
+  plan->outcome.program_eval_ms += capture_ms;
+}
+
 const AuctionOutcome& ShardedAuctionEngine::SettlePlanned(
     PlannedAuction* plan) {
   const ClickModel& model = *workload_.click_model;

@@ -148,6 +148,9 @@ class ShardedAuctionEngine {
     /// Population-wide, global-id-keyed compiled-bids cache (see above).
     CompiledBidsCache cache;
     std::vector<ShardScratch> shards;
+    /// Capture scratch for the const what-if path (WhatIfAuction) — tables
+    /// PeekBids fills, reused across reads on this lane.
+    std::vector<BidsTable> peek_capture;
     TopKHeapSet merged_topk;     // coordinator scratch, reused
     RevenueMatrix revenue{0, 0};  // arena-reused across auctions
     /// Pool the shard phase of *this lane* fans out on. The engine's own
@@ -199,6 +202,24 @@ class ShardedAuctionEngine {
   /// settled.
   void PlanAuction(const Query& query, PlannedAuction* plan,
                    uint64_t trace_seq = 0);
+
+  /// The capture half as a *pure read*: every advertiser's program runs via
+  /// PeekBids against the current account state, so no strategy-private
+  /// state advances and the cost model / capture clocks stay untouched.
+  /// Const on the engine, but NOT safe concurrently with CaptureBids /
+  /// SettlePlanned on the same engine (PeekBids' default transiently
+  /// mutates strategy state, and accounts are read mid-update otherwise);
+  /// the follower serializes reads against applies with its mutex.
+  void CaptureBidsForRead(const Query& query, CapturedBids* bids) const;
+
+  /// One full what-if auction as a pure read: CaptureBidsForRead +
+  /// PlanCaptured on `lane`. The resulting plan is bitwise-identical to
+  /// what PlanAuction would produce for `query` at the current state —
+  /// same bids (PeekBids contract), same pure planning half — but nothing
+  /// in the engine moves, so the real trajectory is unperturbed. Same
+  /// concurrency contract as CaptureBidsForRead.
+  void WhatIfAuction(const Query& query, PlanLane* lane,
+                     PlannedAuction* plan) const;
 
   /// Step 5/6 for a planned auction: simulates user actions (advancing the
   /// user RNG in plan order), charges winners, updates accounts, delivers

@@ -240,6 +240,24 @@ void SettlementLogWriter::Die() {
   dead_ = true;
 }
 
+FrameParse ParseLogFrame(std::string_view data, size_t pos,
+                         SettlementRecord* record, size_t* frame_bytes) {
+  // Frame: [u32 len][u32 crc][payload]. A buffer that ends inside the
+  // header or the payload is a *plausible* frame prefix (a group commit may
+  // be mid-write); everything else that fails is definitive corruption.
+  if (data.size() - pos < 8) return FrameParse::kIncomplete;
+  uint32_t len = 0, crc = 0;
+  std::memcpy(&len, data.data() + pos, 4);
+  std::memcpy(&crc, data.data() + pos + 4, 4);
+  if (len > kMaxFrameBytes) return FrameParse::kCorrupt;
+  if (data.size() - pos - 8 < len) return FrameParse::kIncomplete;
+  const std::string_view payload(data.data() + pos + 8, len);
+  if (Crc32(payload) != crc) return FrameParse::kCorrupt;
+  if (!DecodePayload(payload, record).ok()) return FrameParse::kCorrupt;
+  *frame_bytes = 8 + static_cast<size_t>(len);
+  return FrameParse::kRecord;
+}
+
 Status ReadSettlementLog(const std::string& path,
                          std::vector<SettlementRecord>* records,
                          LogReadStats* stats) {
@@ -254,23 +272,24 @@ Status ReadSettlementLog(const std::string& path,
 
   size_t pos = 0;
   while (pos < data.size()) {
-    // Frame: [u32 len][u32 crc][payload]. Any violation — short header,
-    // insane length, short payload, CRC mismatch, undecodable payload,
-    // sequence gap — marks the corruption point and ends the scan.
-    if (data.size() - pos < 8) break;
-    uint32_t len = 0, crc = 0;
-    std::memcpy(&len, data.data() + pos, 4);
-    std::memcpy(&crc, data.data() + pos + 4, 4);
-    if (len > kMaxFrameBytes || data.size() - pos - 8 < len) break;
-    const std::string_view payload(data.data() + pos + 8, len);
-    if (Crc32(payload) != crc) break;
     SettlementRecord record;
-    if (!DecodePayload(payload, &record).ok()) break;
-    if (stats->records > 0 && record.seq != stats->last_seq + 1) break;
+    size_t frame_bytes = 0;
+    const FrameParse parse = ParseLogFrame(data, pos, &record, &frame_bytes);
+    if (parse != FrameParse::kRecord) {
+      stats->tail = parse == FrameParse::kIncomplete ? LogTailKind::kIncomplete
+                                                     : LogTailKind::kCorrupt;
+      break;
+    }
+    if (stats->records > 0 && record.seq != stats->last_seq + 1) {
+      // A decodable frame with the wrong sequence is corruption, not a
+      // write in progress — more bytes cannot repair a gap.
+      stats->tail = LogTailKind::kCorrupt;
+      break;
+    }
     records->push_back(std::move(record));
     ++stats->records;
     stats->last_seq = records->back().seq;
-    pos += 8 + len;
+    pos += frame_bytes;
   }
   stats->valid_bytes = pos;
   stats->corrupt_bytes = data.size() - pos;

@@ -162,6 +162,23 @@ class SettlementLogWriter {
   uint64_t bytes_written_ = 0;
 };
 
+/// How a log scan's tail ended — the distinction that lets a live tailer
+/// (src/replication/log_tailer.h) wait for more bytes instead of declaring
+/// data loss.
+enum class LogTailKind : uint8_t {
+  /// The last byte of the file ends the last intact frame.
+  kClean,
+  /// The tail is a *prefix* of a well-formed frame: a short header or a
+  /// payload shorter than its length prefix. Indistinguishable from a
+  /// group-commit write in progress, so a tailer should wait and re-read;
+  /// after a crash it is the classic torn-write artifact recovery truncates.
+  kIncomplete,
+  /// The tail is provably not a frame prefix: an insane length, a CRC
+  /// mismatch on a complete payload, an undecodable payload, or a sequence
+  /// gap. Waiting cannot fix it — truncate (recovery) or fail (tailer).
+  kCorrupt,
+};
+
 /// What a log scan found. `valid_bytes` is the byte offset of the first
 /// undecodable frame (== file size for a clean log): truncating the file to
 /// it removes the corrupt tail while keeping every intact record.
@@ -171,6 +188,7 @@ struct LogReadStats {
   uint64_t valid_bytes = 0;
   /// Bytes past the last intact record (torn tail, bit flip, short read).
   uint64_t corrupt_bytes = 0;
+  LogTailKind tail = LogTailKind::kClean;
   bool tail_truncated() const { return corrupt_bytes > 0; }
 };
 
@@ -188,6 +206,21 @@ Status ReadSettlementLog(const std::string& path,
 ///   [u32 payload_len][u32 crc32(payload)][payload]
 /// (exposed for tests that hand-craft corrupt logs).
 void EncodeLogFrame(const SettlementRecord& record, std::string* out);
+
+/// What ParseLogFrame found at a buffer position.
+enum class FrameParse : uint8_t {
+  kRecord,      // one intact frame decoded; *frame_bytes consumed
+  kIncomplete,  // the buffer ends inside a plausible frame (live tail)
+  kCorrupt,     // provably not a frame (bad length / CRC / payload)
+};
+
+/// Decodes the frame starting at `data[pos]`. On kRecord, `*record` holds
+/// the decoded settlement and `*frame_bytes` the framed size (header +
+/// payload). Sequence continuity is the caller's concern — the frame itself
+/// carries its seq. Shared by the recovery scan and the live tailer, so the
+/// two agree byte-for-byte on what counts as intact.
+FrameParse ParseLogFrame(std::string_view data, size_t pos,
+                         SettlementRecord* record, size_t* frame_bytes);
 
 }  // namespace ssa
 

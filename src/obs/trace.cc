@@ -34,6 +34,8 @@ const char* TraceStageName(TraceStage stage) {
       return "batch";
     case TraceStage::kRepartition:
       return "repartition";
+    case TraceStage::kFollowerApply:
+      return "follower_apply";
   }
   return "unknown";
 }

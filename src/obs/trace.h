@@ -26,6 +26,7 @@ enum class TraceStage : uint8_t {
   kShardPlan = 9,     // per-shard slice of planning (lane x shard track)
   kBatch = 10,        // executor micro-batch envelope
   kRepartition = 11,  // shard rebalance event
+  kFollowerApply = 12,  // follower replays one settlement record
 };
 
 const char* TraceStageName(TraceStage stage);

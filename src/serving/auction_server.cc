@@ -190,6 +190,11 @@ Status AuctionServer::Start() {
             static_cast<uint64_t>(engine_.auctions_run()) + 1,
             durability.injector));
   }
+  // Recovery (if any) repositioned the engine; the settled token starts
+  // there, so kAtLeastSeq reads issued before the first new settlement gate
+  // on the recovered position.
+  settled_seq_.store(static_cast<uint64_t>(engine_.auctions_run()),
+                     std::memory_order_release);
   if (config_.obs.metrics) {
     // Recovery is done and final; publish it once as gauges.
     registry_
@@ -212,6 +217,14 @@ Status AuctionServer::Start() {
         .GetGauge("recovery_verify_mismatches", "",
                    "Replay verification mismatches at Start")
         ->Set(recovery_.verify_mismatches);
+    registry_
+        .GetGauge("recovery_recovered_seq", "",
+                   "Engine position after recovery (last durable auction)")
+        ->Set(static_cast<int64_t>(recovery_.recovered_seq));
+    registry_
+        .GetGauge("recovery_tail_truncated", "",
+                   "1 when recovery discarded a torn/corrupt log tail")
+        ->Set(static_cast<int64_t>(recovery_.tail_truncated ? 1 : 0));
     PublishEngineGauges();
   }
   if (config_.obs.report_interval.count() > 0) {
@@ -316,6 +329,15 @@ void AuctionServer::PublishEngineGauges() {
                   "Auctions settled since the recovered checkpoint (crash "
                   "replay cost)")
         ->Set(checkpoint_age());
+    registry_
+        .GetGauge("durability_sync_mode", "",
+                  "Configured LogSyncMode (0=buffered, 1=group fsync, "
+                  "2=fsync each)")
+        ->Set(static_cast<int64_t>(config_.durability.writer.sync));
+    registry_
+        .GetGauge("durability_group_records", "",
+                  "Configured group-commit threshold, records")
+        ->Set(static_cast<int64_t>(config_.durability.writer.group_records));
   }
 }
 
@@ -333,6 +355,10 @@ Status AuctionServer::log_status() const {
 
 void AuctionServer::LogSettlement(const AuctionOutcome& outcome,
                                   uint64_t trace_seq) {
+  // The read-your-writes token advances for every settled auction, log sink
+  // or not — replicated reads gate on it even when durability is off.
+  settled_seq_.store(static_cast<uint64_t>(engine_.auctions_run()),
+                     std::memory_order_release);
   if (log_writer_ == nullptr) return;
   const bool traced = tracer_ != nullptr && trace_seq != 0;
   const uint64_t t0 = traced ? Tracer::NowNs() : 0;

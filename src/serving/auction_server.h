@@ -249,6 +249,15 @@ class AuctionServer {
     return engine_.auctions_run() -
            static_cast<int64_t>(recovery_.checkpoint_seq);
   }
+  /// Sequence of the last settled auction, readable from any thread — the
+  /// read-your-writes token for replicated reads: a client that saw its
+  /// write complete passes this as ReadOptions::min_seq (kAtLeastSeq) and
+  /// any follower at or past it reflects the write. Monotone; equals
+  /// engine().auctions_run() but, unlike it, is safe to read while the
+  /// executor settles.
+  uint64_t settled_seq() const {
+    return settled_seq_.load(std::memory_order_acquire);
+  }
   /// First settlement-log append/flush error, if any (OK otherwise). The
   /// executor keeps serving on log errors; callers decide whether a lame
   /// log sink is fatal.
@@ -328,6 +337,9 @@ class AuctionServer {
 
   std::unique_ptr<SettlementLogWriter> log_writer_;
   RecoveryReport recovery_;
+  /// Last settled sequence (see settled_seq()). Written by the executor in
+  /// LogSettlement — which runs for every settled auction, log sink or not.
+  std::atomic<uint64_t> settled_seq_{0};
   mutable std::mutex log_status_mu_;
   Status log_status_;  // guarded by log_status_mu_
 

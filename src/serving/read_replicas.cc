@@ -1,0 +1,148 @@
+#include "serving/read_replicas.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace ssa {
+
+ReadReplicaSet::ReadReplicaSet(const ReadReplicaSetConfig& config,
+                               FollowerFactory factory)
+    : config_(config), factory_(std::move(factory)) {
+  SSA_CHECK(config_.num_followers >= 1);
+  SSA_CHECK(factory_ != nullptr);
+}
+
+ReadReplicaSet::~ReadReplicaSet() { Stop(); }
+
+Status ReadReplicaSet::Start() {
+  followers_.clear();
+  followers_.reserve(config_.num_followers);
+  for (int i = 0; i < config_.num_followers; ++i) {
+    followers_.push_back(factory_(i));
+    SSA_RETURN_IF_ERROR(followers_.back()->Start());
+  }
+  return Status::Ok();
+}
+
+void ReadReplicaSet::Stop() {
+  for (auto& follower : followers_) {
+    if (follower) follower->Stop();
+  }
+}
+
+bool ReadReplicaSet::Eligible(int i, const ReadOptions& options,
+                              uint64_t leader) const {
+  const FollowerEngine& f = *followers_[i];
+  if (!f.running() || !f.status().ok()) return false;
+  switch (options.consistency) {
+    case ReadConsistency::kAny:
+      return true;
+    case ReadConsistency::kAtLeastSeq:
+      return f.applied_seq() >= options.min_seq;
+    case ReadConsistency::kBoundedStaleness:
+      return f.applied_seq() + options.max_lag_seq >= leader;
+  }
+  return false;
+}
+
+StatusOr<FollowerEngine*> ReadReplicaSet::Route(const ReadOptions& options) {
+  if (followers_.empty()) {
+    return Status::FailedPrecondition("ReadReplicaSet not started");
+  }
+  if (options.consistency == ReadConsistency::kBoundedStaleness &&
+      !config_.leader_seq) {
+    return Status::InvalidArgument(
+        "kBoundedStaleness requires ReadReplicaSetConfig::leader_seq");
+  }
+  const uint64_t leader =
+      config_.leader_seq ? config_.leader_seq() : uint64_t{0};
+  const int n = num_followers();
+  std::vector<int> eligible;
+  eligible.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    if (Eligible(i, options, leader)) eligible.push_back(i);
+  }
+  if (!eligible.empty()) {
+    const uint64_t tick = rr_.fetch_add(1, std::memory_order_relaxed);
+    return followers_[eligible[tick % eligible.size()]].get();
+  }
+
+  if (options.consistency == ReadConsistency::kAtLeastSeq) {
+    // Nobody is there yet: wait on the most-advanced healthy follower — the
+    // one whose catch-up distance is shortest — then re-check.
+    int best = -1;
+    uint64_t best_seq = 0;
+    for (int i = 0; i < n; ++i) {
+      const FollowerEngine& f = *followers_[i];
+      if (!f.running() || !f.status().ok()) continue;
+      if (best < 0 || f.applied_seq() >= best_seq) {
+        best = i;
+        best_seq = f.applied_seq();
+      }
+    }
+    if (best >= 0 &&
+        followers_[best]->WaitForSeq(options.min_seq, options.wait_timeout)) {
+      return followers_[best].get();
+    }
+    return Status::Unavailable(
+        "no follower reached seq " + std::to_string(options.min_seq) +
+        " within the wait budget");
+  }
+  return Status::Unavailable("no follower satisfies the requested staleness");
+}
+
+Status ReadReplicaSet::WhatIf(const ReadOptions& options, const Query& query,
+                              ShardedAuctionEngine::PlannedAuction* plan,
+                              uint64_t* applied_at) {
+  SSA_ASSIGN_OR_RETURN(FollowerEngine * follower, Route(options));
+  return follower->WhatIf(query, plan, applied_at);
+}
+
+Status ReadReplicaSet::EstimatePrices(const ReadOptions& options,
+                                      const Query& query,
+                                      std::vector<Money>* prices,
+                                      uint64_t* applied_at) {
+  SSA_ASSIGN_OR_RETURN(FollowerEngine * follower, Route(options));
+  return follower->EstimatePrices(query, prices, applied_at);
+}
+
+Status ReadReplicaSet::AccountSnapshot(const ReadOptions& options,
+                                       AdvertiserId id,
+                                       AdvertiserAccount* account,
+                                       uint64_t* applied_at) {
+  SSA_ASSIGN_OR_RETURN(FollowerEngine * follower, Route(options));
+  return follower->AccountSnapshot(id, account, applied_at);
+}
+
+Status ReadReplicaSet::RestartFollower(int i) {
+  if (i < 0 || i >= num_followers()) {
+    return Status::InvalidArgument("no such follower: " + std::to_string(i));
+  }
+  followers_[i]->Stop();
+  followers_[i] = factory_(i);
+  return followers_[i]->Start();
+}
+
+uint64_t ReadReplicaSet::min_applied_seq() const {
+  uint64_t min_seq = 0;
+  bool any = false;
+  for (const auto& f : followers_) {
+    if (!f || !f->running() || !f->status().ok()) continue;
+    const uint64_t seq = f->applied_seq();
+    if (!any || seq < min_seq) min_seq = seq;
+    any = true;
+  }
+  return any ? min_seq : 0;
+}
+
+uint64_t ReadReplicaSet::max_applied_seq() const {
+  uint64_t max_seq = 0;
+  for (const auto& f : followers_) {
+    if (!f || !f->running() || !f->status().ok()) continue;
+    max_seq = std::max(max_seq, f->applied_seq());
+  }
+  return max_seq;
+}
+
+}  // namespace ssa

@@ -1,0 +1,117 @@
+#ifndef SSA_SERVING_READ_REPLICAS_H_
+#define SSA_SERVING_READ_REPLICAS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "replication/follower.h"
+#include "util/status.h"
+
+namespace ssa {
+
+/// How stale a routed read may be.
+enum class ReadConsistency {
+  /// Any running follower: maximal scale-out, staleness unbounded (but
+  /// observable per read via `applied_at`).
+  kAny,
+  /// Read-your-writes: only followers with applied_seq >= ReadOptions::
+  /// min_seq are eligible. The client passes the leader's settled_seq()
+  /// token from its write; the routed result then reflects that write and
+  /// everything before it. If no follower is there yet, the router waits
+  /// on the most-advanced one up to wait_timeout, then fails kUnavailable.
+  kAtLeastSeq,
+  /// Bounded staleness: followers within ReadOptions::max_lag_seq of the
+  /// leader's current settled sequence (leader_seq must be configured).
+  kBoundedStaleness,
+};
+
+struct ReadOptions {
+  ReadConsistency consistency = ReadConsistency::kAny;
+  /// kAtLeastSeq: the write token the read must reflect.
+  uint64_t min_seq = 0;
+  /// kBoundedStaleness: max sequences a serving follower may trail.
+  uint64_t max_lag_seq = 0;
+  /// kAtLeastSeq: how long Route may block for a follower to catch up.
+  std::chrono::milliseconds wait_timeout{250};
+};
+
+struct ReadReplicaSetConfig {
+  int num_followers = 1;
+  /// The leader's settled sequence (AuctionServer::settled_seq) — required
+  /// for kBoundedStaleness, optional otherwise.
+  std::function<uint64_t()> leader_seq;
+};
+
+/// The read fan-out: N FollowerEngines behind one routing front.
+///
+/// Followers are built by a caller-supplied factory (each must get its own
+/// private engine replica — same seed/workload/strategies as the leader),
+/// so the set stays agnostic of workload construction. Routing picks
+/// round-robin among the followers eligible under the requested
+/// consistency; a follower that is stopped or failed (sticky apply error)
+/// is never eligible, so a corrupted or diverged replica drops out of
+/// rotation by itself. RestartFollower rebuilds one in place through the
+/// factory — the catch-up path after a kill (bootstrap from checkpoint,
+/// re-tail the log).
+///
+/// Thread-safe for concurrent Route/WhatIf/EstimatePrices once Start has
+/// returned; Start/Stop/RestartFollower are management-plane calls and must
+/// not race each other.
+class ReadReplicaSet {
+ public:
+  using FollowerFactory = std::function<std::unique_ptr<FollowerEngine>(int)>;
+
+  /// `factory(i)` builds follower i (not yet started).
+  ReadReplicaSet(const ReadReplicaSetConfig& config, FollowerFactory factory);
+  ~ReadReplicaSet();
+
+  /// Builds and starts every follower.
+  Status Start();
+  /// Stops every follower (their state stays readable).
+  void Stop();
+
+  /// Picks an eligible follower for `options`, or kUnavailable when none
+  /// qualifies within the wait budget. The returned pointer stays valid
+  /// until Stop/RestartFollower.
+  StatusOr<FollowerEngine*> Route(const ReadOptions& options);
+
+  /// Routed reads — Route + the follower call. `applied_at` (if non-null)
+  /// reports the applied sequence the answer is a function of.
+  Status WhatIf(const ReadOptions& options, const Query& query,
+                ShardedAuctionEngine::PlannedAuction* plan,
+                uint64_t* applied_at = nullptr);
+  Status EstimatePrices(const ReadOptions& options, const Query& query,
+                        std::vector<Money>* prices,
+                        uint64_t* applied_at = nullptr);
+  Status AccountSnapshot(const ReadOptions& options, AdvertiserId id,
+                         AdvertiserAccount* account,
+                         uint64_t* applied_at = nullptr);
+
+  /// Tears follower i down and rebuilds it through the factory (which
+  /// decides the bootstrap: typically the latest checkpoint + the log).
+  Status RestartFollower(int i);
+
+  int num_followers() const { return static_cast<int>(followers_.size()); }
+  FollowerEngine* follower(int i) { return followers_[i].get(); }
+
+  /// Applied-seq extremes across running, healthy followers (0 when none).
+  uint64_t min_applied_seq() const;
+  uint64_t max_applied_seq() const;
+
+ private:
+  /// True when follower i may serve under `options`.
+  bool Eligible(int i, const ReadOptions& options, uint64_t leader) const;
+
+  ReadReplicaSetConfig config_;
+  FollowerFactory factory_;
+  std::vector<std::unique_ptr<FollowerEngine>> followers_;
+  std::atomic<uint64_t> rr_{0};  // round-robin cursor
+};
+
+}  // namespace ssa
+
+#endif  // SSA_SERVING_READ_REPLICAS_H_

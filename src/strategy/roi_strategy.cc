@@ -15,7 +15,21 @@ RoiStrategy::RoiStrategy(std::vector<Formula> keyword_formulas)
 
 void RoiStrategy::MakeBids(const Query& query,
                            const AdvertiserAccount& account, BidsTable* bids) {
-  const int num_keywords = static_cast<int>(bids_.size());
+  StepOn(query, account, &bids_, bids);
+}
+
+void RoiStrategy::PeekBids(const Query& query,
+                           const AdvertiserAccount& account,
+                           BidsTable* bids) const {
+  std::vector<Money> tentative = bids_;  // adjustment lands here, not in bids_
+  StepOn(query, account, &tentative, bids);
+}
+
+void RoiStrategy::StepOn(const Query& query, const AdvertiserAccount& account,
+                         std::vector<Money>* tentative,
+                         BidsTable* bids) const {
+  std::vector<Money>& tb = *tentative;
+  const int num_keywords = static_cast<int>(tb.size());
   SSA_CHECK(account.num_keywords() == num_keywords);
   SSA_CHECK(static_cast<int>(query.relevance.size()) == num_keywords);
 
@@ -31,15 +45,15 @@ void RoiStrategy::MakeBids(const Query& query,
   if (account.Underspending(query.time)) {
     for (int kw = 0; kw < num_keywords; ++kw) {
       if (query.relevance[kw] > 0 && account.Roi(kw) == max_roi &&
-          bids_[kw] < account.max_bid[kw]) {
-        bids_[kw] += 1;
+          tb[kw] < account.max_bid[kw]) {
+        tb[kw] += 1;
       }
     }
   } else if (account.Overspending(query.time)) {
     for (int kw = 0; kw < num_keywords; ++kw) {
       if (query.relevance[kw] > 0 && account.Roi(kw) == min_roi &&
-          bids_[kw] > 0) {
-        bids_[kw] -= 1;
+          tb[kw] > 0) {
+        tb[kw] -= 1;
       }
     }
   }
@@ -60,14 +74,14 @@ void RoiStrategy::MakeBids(const Query& query,
         for (size_t r = 0; r < bids->rows().size(); ++r) {
           updated.AddBid(bids->rows()[r].formula,
                          bids->rows()[r].value +
-                             (r == row ? bids_[kw] : 0.0));
+                             (r == row ? tb[kw] : 0.0));
         }
         *bids = std::move(updated);
         merged = true;
         break;
       }
     }
-    if (!merged) bids->AddBid(keyword_formulas_[kw], bids_[kw]);
+    if (!merged) bids->AddBid(keyword_formulas_[kw], tb[kw]);
   }
 }
 

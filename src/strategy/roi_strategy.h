@@ -39,6 +39,12 @@ class RoiStrategy : public BiddingStrategy {
   void MakeBids(const Query& query, const AdvertiserAccount& account,
                 BidsTable* bids) override;
 
+  /// Genuinely const read path: computes the same table MakeBids would
+  /// emit, keeping the Figure 5 tentative-bid adjustment in a local instead
+  /// of writing it back. Avoids the base-class save/mutate/restore dance.
+  void PeekBids(const Query& query, const AdvertiserAccount& account,
+                BidsTable* bids) const override;
+
   /// Checkpoint hooks: the tentative-bid vector is the strategy's entire
   /// mutable state.
   void SaveState(std::string* out) const override;
@@ -48,6 +54,13 @@ class RoiStrategy : public BiddingStrategy {
   const std::vector<Money>& tentative_bids() const { return bids_; }
 
  private:
+  /// The full Figure 5 step — tentative-bid adjustment applied to
+  /// `*tentative`, then the bids-table emission — shared by the mutating
+  /// (MakeBids: tentative == &bids_) and const (PeekBids: tentative = a
+  /// local copy) entry points so the two stay bitwise-identical.
+  void StepOn(const Query& query, const AdvertiserAccount& account,
+              std::vector<Money>* tentative, BidsTable* bids) const;
+
   std::vector<Formula> keyword_formulas_;
   std::vector<Money> bids_;
 };

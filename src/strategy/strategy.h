@@ -7,6 +7,7 @@
 #include "auction/account.h"
 #include "auction/query_gen.h"
 #include "core/bids_table.h"
+#include "util/common.h"
 #include "util/status.h"
 
 namespace ssa {
@@ -29,6 +30,26 @@ class BiddingStrategy {
   /// cleared; the strategy may mutate its own private state.
   virtual void MakeBids(const Query& query, const AdvertiserAccount& account,
                         BidsTable* bids) = 0;
+
+  /// Computes the bids MakeBids *would* emit for this auction without
+  /// advancing the strategy's private state — the read-only entry point the
+  /// follower/what-if paths use. The default implements it on top of the
+  /// checkpoint contract: save state, run MakeBids, restore — correct for
+  /// any strategy whose SaveState/RestoreState round-trip is bitwise (which
+  /// the contract requires), at the cost of a state copy and a transient
+  /// mutation. NOT thread-safe against a concurrent MakeBids on the same
+  /// strategy; callers serialize reads against applies (the follower holds
+  /// its apply mutex). Strategies with cheap pure math (RoiStrategy)
+  /// override with a genuinely const computation.
+  virtual void PeekBids(const Query& query, const AdvertiserAccount& account,
+                        BidsTable* bids) const {
+    auto* self = const_cast<BiddingStrategy*>(this);
+    std::string saved;
+    SaveState(&saved);
+    self->MakeBids(query, account, bids);
+    const Status restored = self->RestoreState(saved);
+    SSA_CHECK(restored.ok());
+  }
 
   /// Outcome notification (Section II-B: "SQL triggers can be used ... to
   /// notify programs if they received a slot, click, or purchase"). Called

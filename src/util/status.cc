@@ -19,6 +19,8 @@ const char* CodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

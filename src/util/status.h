@@ -19,6 +19,9 @@ enum class StatusCode {
   /// Unrecoverable loss or corruption of persisted state (a settlement-log
   /// gap, a replay that diverges from its logged record).
   kDataLoss,
+  /// Transiently unservable: no follower satisfies the requested read
+  /// consistency within the wait budget. Retrying later may succeed.
+  kUnavailable,
 };
 
 /// Lightweight error-or-success result, in the style of absl::Status.
@@ -49,6 +52,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
